@@ -1,0 +1,25 @@
+"""Benchmark + regeneration of Figure 6 (distance distributions)."""
+
+from conftest import save_and_print
+
+from repro.experiments import figure6
+
+
+def test_figure6_report(benchmark, bench_config, results_dir):
+    series = benchmark.pedantic(
+        lambda: figure6.run(bench_config), rounds=1, iterations=1
+    )
+    assert len(series) == 12
+    # The paper's observation: most pairs sit at small distances (2-8).
+    for s in series:
+        mass_2_to_8 = sum(
+            frac for dist, frac in s.distribution.items() if 2 <= dist <= 8
+        )
+        assert mass_2_to_8 > 0.5, (s.dataset, s.distribution)
+    save_and_print(
+        results_dir,
+        "figure6",
+        f"Figure 6 (scale={bench_config.scale}, "
+        f"{bench_config.num_query_pairs} pairs/dataset)",
+        figure6.render(series),
+    )

@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of Figure 7 (CT and QT vs #landmarks)."""
+
+from conftest import save_and_print
+
+from repro.experiments import figure7
+
+
+def test_figure7_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(
+        lambda: figure7.run(bench_config), rounds=1, iterations=1
+    )
+    assert len(rows) == 12
+    # The paper's claim: construction time is linear in #landmarks —
+    # CT(50)/CT(10) should sit near 5 (generously bounded here).
+    ratios = [figure7.linearity_ratio(r) for r in rows]
+    assert sum(1 for r in ratios if 2.0 <= r <= 12.0) >= 9, ratios
+    save_and_print(
+        results_dir,
+        "figure7",
+        f"Figure 7 (scale={bench_config.scale})",
+        figure7.render(rows)
+        + "\nCT(50)/CT(10): "
+        + ", ".join(f"{r.dataset}={figure7.linearity_ratio(r):.1f}" for r in rows),
+    )

@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of Figure 8 (label sizes vs #landmarks)."""
+
+from conftest import save_and_print
+
+from repro.experiments import figure8
+
+
+def test_figure8_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(
+        lambda: figure8.run(bench_config), rounds=1, iterations=1
+    )
+    assert len(rows) == 12
+    for row in rows:
+        # Growth with k, and HL-50 no larger than FD-20 on most datasets
+        # (the paper's headline comparison).
+        assert row.hl_size_bytes[50] > row.hl_size_bytes[10]
+    below = sum(1 for row in rows if row.hl_size_bytes[50] <= row.fd_size_bytes)
+    assert below >= 9, [
+        (row.dataset, row.hl_size_bytes[50], row.fd_size_bytes) for row in rows
+    ]
+    save_and_print(
+        results_dir,
+        "figure8",
+        f"Figure 8 (scale={bench_config.scale})",
+        figure8.render(rows),
+    )

@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of Figure 9 (pair coverage ratios)."""
+
+from conftest import save_and_print
+
+from repro.experiments import figure9
+
+
+def test_figure9_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(
+        lambda: figure9.run(bench_config), rounds=1, iterations=1
+    )
+    assert len(rows) == 12
+    for row in rows:
+        # Coverage grows (weakly) with the landmark count.
+        assert row.hl_coverage[50] >= row.hl_coverage[10] - 0.02
+        assert 0.0 <= row.fd_coverage <= 1.0
+    # FD-20's BP sub-hubs put it at or above HL-20 on most datasets.
+    fd_wins = sum(
+        1 for row in rows if row.fd_coverage >= row.hl_coverage[20] - 0.02
+    )
+    assert fd_wins >= 8, [
+        (row.dataset, row.hl_coverage[20], row.fd_coverage) for row in rows
+    ]
+    save_and_print(
+        results_dir,
+        "figure9",
+        f"Figure 9 (scale={bench_config.scale})",
+        figure9.render(rows),
+    )

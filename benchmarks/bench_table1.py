@@ -1,0 +1,29 @@
+"""Benchmark + regeneration of Table 1 (dataset statistics)."""
+
+from conftest import save_and_print
+
+from repro.datasets.registry import load_dataset
+from repro.experiments import table1
+
+
+def test_table1_generation_speed(benchmark, bench_config):
+    """Time one mid-size surrogate generation (the substrate cost)."""
+    benchmark.pedantic(
+        lambda: load_dataset("LiveJournal", scale=bench_config.scale),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_table1_report(benchmark, bench_config, results_dir):
+    """Regenerate all twelve Table 1 rows."""
+    rows = benchmark.pedantic(
+        lambda: table1.run(bench_config), rounds=1, iterations=1
+    )
+    assert len(rows) == 12
+    save_and_print(
+        results_dir,
+        "table1",
+        f"Table 1 (scale={bench_config.scale})",
+        table1.render(rows),
+    )

@@ -1,0 +1,26 @@
+"""Benchmark + regeneration of Table 3 (labelling sizes)."""
+
+from conftest import save_and_print
+
+from repro.experiments import table3
+
+
+def test_table3_report(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table3.run(bench_config), rounds=1, iterations=1
+    )
+    assert len(rows) == 12
+    # The paper's headline ordering on every dataset where methods finish:
+    # HL(8) < HL < FD.
+    for row in rows:
+        hl8 = row.measurements["HL(8)"]
+        hl = row.measurements["HL"]
+        fd = row.measurements["FD"]
+        assert hl8.finished and hl.finished and fd.finished
+        assert hl8.size_bytes < hl.size_bytes < fd.size_bytes
+    save_and_print(
+        results_dir,
+        "table3",
+        f"Table 3 (scale={bench_config.scale}, k=20)",
+        table3.render(rows),
+    )

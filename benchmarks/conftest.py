@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (default 0.15) sizes the surrogates;
+``REPRO_BENCH_BUDGET_S`` (default 6) is the per-method construction
+budget that produces the paper's DNF cells. Rendered tables are written
+to ``benchmarks/results/`` *and* echoed through the pytest-benchmark
+``extra_info`` mechanism.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.15")),
+        num_landmarks=20,
+        num_query_pairs=int(os.environ.get("REPRO_BENCH_PAIRS", "200")),
+        num_online_pairs=30,
+        construction_budget_s=float(os.environ.get("REPRO_BENCH_BUDGET_S", "6")),
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, title: str, rendered: str) -> None:
+    """Persist a rendered table and echo it to stdout (shown with -s)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(title + "\n" + rendered + "\n")
+    print(f"\n{title}\n{rendered}\n[saved to {path}]")

@@ -1,0 +1,76 @@
+"""Closeness centrality over a social network with HL distance queries.
+
+The paper's introduction motivates distance labelling with social network
+analysis: centrality measures "require distances to be computed for a
+large number of vertex pairs". This example does exactly that — it
+estimates closeness centrality for candidate influencers on a synthetic
+social graph, comparing the cost of HL-backed queries against raw
+bidirectional BFS.
+
+Run with::
+
+    python examples/social_network_centrality.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import HighwayCoverOracle
+from repro.baselines.online import BiBFSOracle
+from repro.datasets.registry import load_dataset
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+def estimate_closeness(oracle, vertex: int, samples) -> float:
+    """Sampled closeness: inverse mean distance to random targets."""
+    total = 0.0
+    reached = 0
+    for t in samples:
+        d = oracle.query(vertex, int(t))
+        if d != float("inf"):
+            total += d
+            reached += 1
+    return reached / total if total else 0.0
+
+
+def main() -> None:
+    graph = load_dataset("Flickr", scale=0.5)
+    print(f"social surrogate: n={graph.num_vertices:,}, m={graph.num_edges:,}")
+
+    hl = HighwayCoverOracle(num_landmarks=20).build(graph)
+    print(f"HL built in {hl.construction_seconds:.2f}s")
+
+    # Candidate influencers: a few hubs and a few random users.
+    degrees = graph.degrees()
+    hubs = [int(v) for v in degrees.argsort()[::-1][20:25]]  # below landmark tier
+    randoms = [int(v) for v in sample_vertex_pairs(graph, 5, seed=3)[:, 0]]
+    targets = sample_vertex_pairs(graph, 300, seed=4)[:, 1]
+
+    t0 = time.perf_counter()
+    scores = {
+        v: estimate_closeness(hl, v, targets) for v in hubs + randoms
+    }
+    hl_time = time.perf_counter() - t0
+
+    print("\ncloseness centrality (sampled, higher = more central):")
+    for v, score in sorted(scores.items(), key=lambda kv: -kv[1]):
+        tag = "hub " if v in hubs else "rand"
+        print(f"  [{tag}] vertex {v:6d}  closeness={score:.4f}  degree={int(degrees[v])}")
+
+    # Cost comparison against online search for the same workload.
+    bibfs = BiBFSOracle().build(graph)
+    t0 = time.perf_counter()
+    estimate_closeness(bibfs, hubs[0], targets[:60])
+    bibfs_time = (time.perf_counter() - t0) * (len(targets) / 60) * len(scores)
+    print(
+        f"\nworkload cost: HL={hl_time:.2f}s vs Bi-BFS~{bibfs_time:.2f}s "
+        f"(extrapolated) for {len(scores) * len(targets)} distance queries.\n"
+        "At this surrogate scale the two are comparable; the paper's gap\n"
+        "(Table 2: Bi-BFS 50-5000x slower) opens up with network size —\n"
+        "rerun with a larger scale via load_dataset('Flickr', scale=4.0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Context-aware web search: rank pages by distance to recently visited ones.
+
+The paper's introduction motivates exact distance queries with web-graph
+context-aware search: "ranking of web pages based on their distances to
+recently visited web pages helps in finding the more relevant pages".
+This example implements that ranking loop over a copying-model web crawl
+surrogate, using HL for the distance kernel.
+
+Run with::
+
+    python examples/web_context_search.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import HighwayCoverOracle
+from repro.datasets.registry import load_dataset
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+def context_score(oracle, page: int, context: list) -> float:
+    """Relevance = inverse mean distance to the browsing context."""
+    distances = [oracle.query(page, c) for c in context]
+    finite = [d for d in distances if d != float("inf")]
+    if not finite:
+        return 0.0
+    return 1.0 / (1.0 + sum(finite) / len(finite))
+
+
+def main() -> None:
+    graph = load_dataset("Indochina", scale=0.5)
+    print(f"web crawl surrogate: n={graph.num_vertices:,}, m={graph.num_edges:,}")
+
+    oracle = HighwayCoverOracle(num_landmarks=30).build(graph)
+    print(f"HL built in {oracle.construction_seconds:.2f}s (k=30 landmarks)")
+
+    # A browsing session: three recently visited pages.
+    rng = np.random.default_rng(11)
+    context = [int(v) for v in rng.integers(0, graph.num_vertices, size=3)]
+    print(f"browsing context: pages {context}")
+
+    # Candidate result set from a (simulated) keyword match.
+    candidates = sorted(
+        int(v) for v in sample_vertex_pairs(graph, 200, seed=12)[:, 0]
+    )
+
+    t0 = time.perf_counter()
+    ranked = sorted(
+        ((context_score(oracle, page, context), page) for page in candidates),
+        reverse=True,
+    )
+    elapsed = time.perf_counter() - t0
+
+    print(f"\nranked {len(candidates)} candidates in {elapsed * 1e3:.1f}ms "
+          f"({len(candidates) * len(context)} distance queries)")
+    print("top results (closest to the browsing context):")
+    for score, page in ranked[:5]:
+        dists = [oracle.query(page, c) for c in context]
+        print(f"  page {page:6d}  score={score:.3f}  distances={[int(d) for d in dists]}")
+    print("tail results (unrelated to the context):")
+    for score, page in ranked[-3:]:
+        print(f"  page {page:6d}  score={score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

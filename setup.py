@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work on
+environments whose setuptools lacks the ``bdist_wheel`` command."""
+
+from setuptools import setup
+
+setup()

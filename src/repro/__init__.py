@@ -1,0 +1,57 @@
+"""Highway Cover Labelling — exact distance queries in complex networks.
+
+A from-scratch reproduction of Farhan, Wang, Lin & McKay, *A Highly
+Scalable Labelling Approach for Exact Distance Queries in Complex
+Networks* (EDBT 2019).
+
+Quickstart::
+
+    from repro import HighwayCoverOracle, barabasi_albert_graph
+
+    graph = barabasi_albert_graph(1000, 4, seed=1)
+    oracle = HighwayCoverOracle(num_landmarks=20).build(graph)
+    print(oracle.query(0, 999))
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
+system inventory, and ``EXPERIMENTS.md`` for the paper-vs-measured record.
+"""
+
+from repro.core.query import HighwayCoverOracle
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.parallel import build_highway_cover_labelling_parallel
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling
+from repro.core.dynamic import DynamicHighwayCoverOracle
+from repro.core.paths import shortest_path
+from repro.core.serialization import load_oracle, save_oracle
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    copying_model_graph,
+    erdos_renyi_graph,
+    powerlaw_configuration_graph,
+    watts_strogatz_graph,
+)
+from repro.landmarks.selection import select_landmarks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HighwayCoverOracle",
+    "DynamicHighwayCoverOracle",
+    "build_highway_cover_labelling",
+    "build_highway_cover_labelling_parallel",
+    "Highway",
+    "HighwayCoverLabelling",
+    "shortest_path",
+    "load_oracle",
+    "save_oracle",
+    "Graph",
+    "barabasi_albert_graph",
+    "copying_model_graph",
+    "erdos_renyi_graph",
+    "powerlaw_configuration_graph",
+    "watts_strogatz_graph",
+    "select_landmarks",
+    "__version__",
+]

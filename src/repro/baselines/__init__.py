@@ -1,0 +1,34 @@
+"""Baseline distance-query methods evaluated by the paper.
+
+Every method — including HL itself — satisfies the
+:class:`~repro.baselines.interface.DistanceOracle` protocol, so the
+experiment harness can sweep them uniformly:
+
+* :class:`~repro.baselines.online.BFSOracle`,
+  :class:`~repro.baselines.online.BiBFSOracle`,
+  :class:`~repro.baselines.online.DijkstraOracle` — online searches.
+* :class:`~repro.baselines.pll.PrunedLandmarkLabelling` — PLL (Akiba et
+  al., SIGMOD 2013), the 2-hop-cover state of the art.
+* :class:`~repro.baselines.fd.FullyDynamicOracle` — FD (Hayashi et al.,
+  CIKM 2016), landmark SPTs + bit-parallel labels + bounded search.
+* :class:`~repro.baselines.isl.ISLabelOracle` — IS-L (Fu et al., VLDB
+  2013), independent-set hierarchy + core search.
+"""
+
+from repro.baselines.interface import DistanceOracle
+from repro.baselines.online import BFSOracle, BiBFSOracle, DijkstraOracle
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.baselines.fd import FullyDynamicOracle
+from repro.baselines.isl import ISLabelOracle
+from repro.baselines.alt import ALTOracle
+
+__all__ = [
+    "DistanceOracle",
+    "BFSOracle",
+    "BiBFSOracle",
+    "DijkstraOracle",
+    "PrunedLandmarkLabelling",
+    "FullyDynamicOracle",
+    "ISLabelOracle",
+    "ALTOracle",
+]

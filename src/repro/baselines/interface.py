@@ -1,0 +1,37 @@
+"""The common oracle protocol shared by HL and every baseline."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.graphs.graph import Graph
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """What the experiment harness requires of a distance-query method.
+
+    ``build`` may raise
+    :class:`~repro.errors.ConstructionBudgetExceeded`, which the harness
+    reports as DNF; ``query`` must return exact distances (``inf`` when
+    disconnected). ``size_bytes``/``average_label_size`` feed Tables 2-3;
+    online methods report zero-size indexes.
+    """
+
+    name: str
+
+    def build(self, graph: Graph) -> "DistanceOracle":
+        """Precompute the index (may be a no-op for online methods)."""
+        ...
+
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest-path distance between ``s`` and ``t``."""
+        ...
+
+    def size_bytes(self) -> int:
+        """Index size in bytes under the paper's accounting."""
+        ...
+
+    def average_label_size(self) -> float:
+        """Average label entries per vertex (ALS column of Table 2)."""
+        ...

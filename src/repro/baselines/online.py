@@ -1,0 +1,68 @@
+"""Online (index-free) baselines: BFS, bidirectional BFS, Dijkstra.
+
+These are the paper's lower envelope: zero construction time and index
+size, but query times orders of magnitude above the labelling methods
+(Table 2's Bi-BFS column; Figure 1(a)'s Dijkstra/Bi-BFS points).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NotBuiltError
+from repro.graphs.graph import Graph
+from repro.search.bfs import bfs_distance
+from repro.search.bidirectional import bidirectional_bfs_distance
+from repro.search.dijkstra import dijkstra_distance
+
+
+class _OnlineOracle:
+    """Shared plumbing for the index-free methods."""
+
+    name = "online"
+
+    def __init__(self) -> None:
+        self.graph: Optional[Graph] = None
+        self.construction_seconds = 0.0
+
+    def build(self, graph: Graph) -> "_OnlineOracle":
+        self.graph = graph
+        return self
+
+    def _require_graph(self) -> Graph:
+        if self.graph is None:
+            raise NotBuiltError("call build(graph) before querying")
+        return self.graph
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def average_label_size(self) -> float:
+        return 0.0
+
+
+class BFSOracle(_OnlineOracle):
+    """Unidirectional BFS per query (the textbook online method)."""
+
+    name = "BFS"
+
+    def query(self, s: int, t: int) -> float:
+        return bfs_distance(self._require_graph(), s, t)
+
+
+class BiBFSOracle(_OnlineOracle):
+    """Bidirectional BFS per query — ``Bi-BFS`` in Table 2."""
+
+    name = "Bi-BFS"
+
+    def query(self, s: int, t: int) -> float:
+        return bidirectional_bfs_distance(self._require_graph(), s, t)
+
+
+class DijkstraOracle(_OnlineOracle):
+    """Early-terminating Dijkstra per query (Figure 1's classical method)."""
+
+    name = "Dijkstra"
+
+    def query(self, s: int, t: int) -> float:
+        return dijkstra_distance(self._require_graph(), s, t)

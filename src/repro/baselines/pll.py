@@ -1,0 +1,187 @@
+"""Pruned Landmark Labelling — PLL (Akiba, Iwata, Yoshida, SIGMOD 2013).
+
+The 2-hop-cover state of the art the paper compares against. PLL orders
+vertices (by decreasing degree, the authors' recommendation), then runs a
+*pruned BFS from every vertex* in that order: when the BFS from root
+``v_k`` reaches a vertex ``u`` at distance ``d`` and the already-built
+labels can certify ``d(v_k, u) <= d``, the branch is pruned; otherwise the
+entry ``(k, d)`` is appended to ``L(u)``.
+
+Two properties the paper leans on, both reproduced here and asserted by
+the test suite:
+
+* PLL is **order-dependent** (Example 3.10 / Figure 4): different vertex
+  orders produce labellings of different sizes.
+* PLL label sizes dominate HL's for the same landmarks (Corollary 3.14);
+  at full scale its construction cost is what makes it DNF on 7 of the 12
+  datasets (Table 2) — reproduced via the construction budget.
+
+Optionally, the first ``bp_roots`` roots get bit-parallel labels
+(Section 5.1; 50 in the paper's setup), which prune more and answer
+queries with mask refinements — see :mod:`repro.baselines.bitparallel`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.bitparallel import BitParallelLabels, build_bit_parallel_labels
+from repro.errors import NotBuiltError
+from repro.graphs.graph import Graph
+from repro.utils.timing import Stopwatch, TimeBudget
+
+_ENTRY_BYTES = 5  # 32-bit vertex id + 8-bit distance, as in the paper §5.2
+
+
+class PrunedLandmarkLabelling:
+    """PLL distance oracle (full 2-hop cover over all vertices).
+
+    Args:
+        order: explicit vertex order, or ``None`` for decreasing degree.
+        bp_roots: number of bit-parallel roots built before normal
+            labelling (0 disables; the paper's comparison uses 50).
+        budget_s: construction time budget (DNF reporting).
+    """
+
+    name = "PLL"
+
+    def __init__(
+        self,
+        order: Optional[Sequence[int]] = None,
+        bp_roots: int = 0,
+        budget_s: Optional[float] = None,
+    ) -> None:
+        self._explicit_order = list(order) if order is not None else None
+        self.bp_roots = bp_roots
+        self.budget_s = budget_s
+        self.graph: Optional[Graph] = None
+        self.labels: Optional[List[List[tuple]]] = None
+        self.bp_labels: Optional[BitParallelLabels] = None
+        self.construction_seconds = 0.0
+
+    # -- Construction -----------------------------------------------------
+
+    def build(self, graph: Graph) -> "PrunedLandmarkLabelling":
+        budget = TimeBudget(self.budget_s, method=self.name)
+        with Stopwatch() as sw:
+            self._build_inner(graph, budget)
+        self.construction_seconds = sw.elapsed
+        return self
+
+    def _build_inner(self, graph: Graph, budget: TimeBudget) -> None:
+        n = graph.num_vertices
+        if self._explicit_order is not None:
+            order = list(self._explicit_order)
+        else:
+            order = [int(v) for v in np.argsort(-graph.degrees(), kind="stable")]
+        labels: List[List[tuple]] = [[] for _ in range(n)]
+
+        bp_label_obj = None
+        bp_root_set: set = set()
+        if self.bp_roots > 0:
+            roots = order[: self.bp_roots]
+            bp_label_obj = build_bit_parallel_labels(graph, roots)
+            bp_root_set = set(roots)
+
+        # hub_dist[h] caches the current root's label as a dense array for
+        # O(|L(u)|) prune queries (the standard PLL implementation trick).
+        hub_dist = np.full(n, np.iinfo(np.int32).max, dtype=np.int64)
+        csr = graph.csr
+        for rank, root in enumerate(order):
+            budget.check()
+            root_label = labels[root]
+            for hub, d in root_label:
+                hub_dist[hub] = d
+            dist = np.full(n, -1, dtype=np.int32)
+            dist[root] = 0
+            frontier = [root]
+            depth = 0
+            while frontier:
+                next_frontier: List[int] = []
+                for u in frontier:
+                    # Prune via existing labels (2-hop cover query), and via
+                    # bit-parallel labels when enabled.
+                    if u != root:
+                        if self._pruned(labels[u], hub_dist, depth) or (
+                            bp_label_obj is not None
+                            and bp_label_obj.query(root, u) <= depth
+                        ):
+                            continue
+                        labels[u].append((rank, depth))
+                    for v in csr.neighbors(u):
+                        v = int(v)
+                        if dist[v] == -1:
+                            dist[v] = depth + 1
+                            next_frontier.append(v)
+                frontier = next_frontier
+                depth += 1
+            for hub, _ in root_label:
+                hub_dist[hub] = np.iinfo(np.int32).max
+            # The root covers itself at distance 0 for later prune queries.
+            labels[root].append((rank, 0))
+
+        self.graph = graph
+        self.labels = labels
+        self.bp_labels = bp_label_obj
+        self._order = order
+        self._bp_root_set = bp_root_set
+
+    @staticmethod
+    def _pruned(label_u: List[tuple], hub_dist: np.ndarray, depth: int) -> bool:
+        for hub, d in label_u:
+            if d + hub_dist[hub] <= depth:
+                return True
+        return False
+
+    # -- Queries ------------------------------------------------------------
+
+    def query(self, s: int, t: int) -> float:
+        """2-hop cover query: min over common hubs (plus BP refinement)."""
+        if self.labels is None or self.graph is None:
+            raise NotBuiltError("call build(graph) before querying")
+        self.graph.validate_vertex(s)
+        self.graph.validate_vertex(t)
+        if s == t:
+            return 0.0
+        best = float("inf")
+        ls, lt = self.labels[s], self.labels[t]
+        i = j = 0
+        while i < len(ls) and j < len(lt):
+            hs, ds = ls[i]
+            ht, dt = lt[j]
+            if hs == ht:
+                candidate = ds + dt
+                if candidate < best:
+                    best = candidate
+                i += 1
+                j += 1
+            elif hs < ht:
+                i += 1
+            else:
+                j += 1
+        if self.bp_labels is not None:
+            best = min(best, self.bp_labels.query(s, t))
+        return float(best)
+
+    # -- Reporting ------------------------------------------------------------
+
+    def labelling_size(self) -> int:
+        """Total number of normal label entries (Example 3.10's ``LS``)."""
+        if self.labels is None:
+            raise NotBuiltError("call build(graph) first")
+        return sum(len(l) for l in self.labels)
+
+    def size_bytes(self) -> int:
+        if self.labels is None:
+            raise NotBuiltError("call build(graph) first")
+        total = self.labelling_size() * _ENTRY_BYTES
+        if self.bp_labels is not None:
+            total += self.bp_labels.size_bytes()
+        return total
+
+    def average_label_size(self) -> float:
+        if self.graph is None or self.graph.num_vertices == 0:
+            return 0.0
+        return self.labelling_size() / self.graph.num_vertices

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats <edgelist>`` — Table-1-style statistics for a graph file.
+* ``build <edgelist> -o index.hl [-k 20] [--strategy degree]`` — build
+  and persist an HL index.
+* ``query <edgelist> <index> s t [s t ...]`` — exact distances from a
+  saved index.
+* ``bench-dataset <name>`` — build HL on one surrogate and report
+  CT/ALS/size/coverage.
+* ``datasets`` — list the twelve surrogate networks.
+
+The CLI wraps the same public API the examples use; it exists so the
+index can be produced and consumed from shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.query import HighwayCoverOracle
+from repro.core.serialization import load_oracle, save_oracle
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.graphs.io import read_edge_list
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.graphs.stats import compute_stats
+from repro.landmarks.selection import STRATEGIES
+from repro.utils.formatting import format_bytes, format_table
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    stats = compute_stats(graph)
+    print(
+        format_table(
+            ["n", "m", "m/n", "avg.deg", "max.deg", "|G|"],
+            [
+                [
+                    f"{stats.num_vertices:,}",
+                    f"{stats.num_edges:,}",
+                    f"{stats.edge_vertex_ratio:.1f}",
+                    f"{stats.avg_degree:.3f}",
+                    stats.max_degree,
+                    format_bytes(stats.size_bytes),
+                ]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    oracle = HighwayCoverOracle(
+        num_landmarks=args.landmarks, landmark_strategy=args.strategy
+    ).build(graph)
+    written = save_oracle(oracle, args.output)
+    print(
+        f"built HL(k={args.landmarks}, {args.strategy}) in "
+        f"{oracle.construction_seconds:.2f}s; ALS="
+        f"{oracle.average_label_size():.1f}; wrote {format_bytes(written)} "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if len(args.vertices) % 2:
+        print("error: provide an even number of vertex ids (s t pairs)", file=sys.stderr)
+        return 2
+    graph = read_edge_list(args.graph)
+    oracle = load_oracle(graph, args.index)
+    for i in range(0, len(args.vertices), 2):
+        s, t = args.vertices[i], args.vertices[i + 1]
+        d = oracle.query(s, t)
+        rendered = "inf" if d == float("inf") else f"{d:.0f}"
+        print(f"d({s}, {t}) = {rendered}")
+    return 0
+
+
+def _cmd_bench_dataset(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.name, scale=args.scale)
+    oracle = HighwayCoverOracle(num_landmarks=args.landmarks).build(graph)
+    pairs = sample_vertex_pairs(graph, args.pairs, seed=1)
+    covered = sum(1 for s, t in pairs if oracle.is_covered(int(s), int(t)))
+    print(
+        format_table(
+            ["dataset", "n", "m", "CT", "ALS", "index", "coverage"],
+            [
+                [
+                    args.name,
+                    f"{graph.num_vertices:,}",
+                    f"{graph.num_edges:,}",
+                    f"{oracle.construction_seconds:.2f}s",
+                    f"{oracle.average_label_size():.1f}",
+                    format_bytes(oracle.size_bytes()),
+                    f"{covered / len(pairs):.2f}",
+                ]
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for name in dataset_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Highway cover labelling: exact distance queries (EDBT 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="Table-1-style statistics for a graph")
+    p_stats.add_argument("graph", help="edge-list file")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_build = sub.add_parser("build", help="build and save an HL index")
+    p_build.add_argument("graph", help="edge-list file")
+    p_build.add_argument("-o", "--output", required=True, help="index output path")
+    p_build.add_argument("-k", "--landmarks", type=int, default=20)
+    p_build.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="degree"
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="query distances from a saved index")
+    p_query.add_argument("graph", help="edge-list file")
+    p_query.add_argument("index", help="index file from 'build'")
+    p_query.add_argument("vertices", nargs="+", type=int, help="s t [s t ...]")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_bench = sub.add_parser("bench-dataset", help="profile HL on a surrogate")
+    p_bench.add_argument("name", choices=dataset_names())
+    p_bench.add_argument("--scale", type=float, default=0.15)
+    p_bench.add_argument("-k", "--landmarks", type=int, default=20)
+    p_bench.add_argument("--pairs", type=int, default=200)
+    p_bench.set_defaults(func=_cmd_bench_dataset)
+
+    p_list = sub.add_parser("datasets", help="list the surrogate networks")
+    p_list.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — standard CLI etiquette.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: highway cover labelling and querying.
+
+Public entry points:
+
+* :class:`~repro.core.query.HighwayCoverOracle` — build + query in one
+  object (the method called **HL** in the paper; ``parallel=True`` gives
+  **HL-P**, ``codec="u8"`` gives **HL(8)**).
+* :func:`~repro.core.construction.build_highway_cover_labelling` —
+  Algorithm 1 on its own.
+* :class:`~repro.core.highway.Highway` — the ``(R, δH)`` structure.
+* :class:`~repro.core.labels.HighwayCoverLabelling` — the label store.
+"""
+
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling, VertexLabel
+from repro.core.construction import build_highway_cover_labelling, pruned_bfs_from_landmark
+from repro.core.parallel import build_highway_cover_labelling_parallel
+from repro.core.bounds import upper_bound_distance
+from repro.core.query import HighwayCoverOracle
+from repro.core.compression import LabelCodec, encoded_size_bytes
+from repro.core.verification import (
+    is_highway_cover,
+    is_hwc_minimal,
+    reference_minimal_entries,
+)
+from repro.core.dynamic import DynamicHighwayCoverOracle
+from repro.core.paths import shortest_path
+from repro.core.batch import batch_query, batch_upper_bounds, coverage_ratio
+from repro.core.serialization import load_oracle, save_oracle
+
+__all__ = [
+    "Highway",
+    "HighwayCoverLabelling",
+    "VertexLabel",
+    "build_highway_cover_labelling",
+    "build_highway_cover_labelling_parallel",
+    "pruned_bfs_from_landmark",
+    "upper_bound_distance",
+    "HighwayCoverOracle",
+    "LabelCodec",
+    "encoded_size_bytes",
+    "is_highway_cover",
+    "is_hwc_minimal",
+    "reference_minimal_entries",
+    "DynamicHighwayCoverOracle",
+    "shortest_path",
+    "batch_query",
+    "batch_upper_bounds",
+    "coverage_ratio",
+    "load_oracle",
+    "save_oracle",
+]

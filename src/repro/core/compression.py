@@ -1,0 +1,112 @@
+"""Label compression and byte accounting (Section 5.2 of the paper).
+
+The paper reports two encodings of the same labelling:
+
+* **HL** — 32-bit landmark identifiers + 8-bit distances (5 bytes per
+  entry), matching what FD and PLL use for their normal labels, so that
+  Table 3's comparison is apples-to-apples.
+* **HL(8)** — since the method never needs more than ~100 landmarks,
+  landmark identifiers fit in 8 bits, giving 2 bytes per entry.
+
+Both accountings include the per-vertex offset overhead (one 8-byte
+offset per vertex for the CSR-of-labels) and the ``k^2`` highway matrix
+(distances < 256, 1 byte per cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling
+from repro.errors import CompressionError
+
+_OFFSET_BYTES_PER_VERTEX = 8
+
+
+@dataclass(frozen=True)
+class LabelCodec:
+    """A label entry encoding: ``"u32"`` (32+8 bit) or ``"u8"`` (8+8 bit)."""
+
+    kind: str
+
+    _BYTES_PER_ENTRY = {"u32": 5, "u8": 2}
+    _MAX_LANDMARKS = {"u32": 2**32, "u8": 256}
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._BYTES_PER_ENTRY:
+            raise CompressionError(
+                f"unknown codec {self.kind!r}; expected 'u32' or 'u8'"
+            )
+
+    @property
+    def bytes_per_entry(self) -> int:
+        return self._BYTES_PER_ENTRY[self.kind]
+
+    @property
+    def max_landmarks(self) -> int:
+        return self._MAX_LANDMARKS[self.kind]
+
+    def validate(self, labelling: HighwayCoverLabelling, highway: Highway) -> None:
+        """Check the labelling actually fits this codec.
+
+        Raises:
+            CompressionError: if landmark ids or distances overflow.
+        """
+        if highway.num_landmarks > self.max_landmarks:
+            raise CompressionError(
+                f"{highway.num_landmarks} landmarks exceed codec {self.kind!r} "
+                f"capacity of {self.max_landmarks}"
+            )
+        if labelling.size() and int(labelling.distances.max()) > 255:
+            raise CompressionError("distances exceed the 8-bit distance field")
+
+
+def encoded_size_bytes(
+    labelling: HighwayCoverLabelling, highway: Highway, codec: LabelCodec
+) -> int:
+    """Total bytes for labels + offsets + highway under ``codec`` (Table 3)."""
+    codec.validate(labelling, highway)
+    entry_bytes = labelling.size() * codec.bytes_per_entry
+    offset_bytes = labelling.num_vertices * _OFFSET_BYTES_PER_VERTEX
+    return entry_bytes + offset_bytes + highway.size_bytes(bytes_per_entry=1)
+
+
+def encode_labels(
+    labelling: HighwayCoverLabelling, codec: LabelCodec
+) -> tuple:
+    """Materialize the entry arrays at the codec's width (round-trippable).
+
+    Returns ``(landmark_indices, distances)`` with the narrow dtypes; used
+    by tests to prove the compression is lossless under the validated
+    preconditions, and by :func:`decode_labels`.
+    """
+    codec_dtype = np.uint8 if codec.kind == "u8" else np.uint32
+    if labelling.size():
+        if labelling.landmark_indices.max(initial=0) >= codec.max_landmarks:
+            raise CompressionError("landmark index overflows codec width")
+        if labelling.distances.max(initial=0) > 255:
+            raise CompressionError("distance overflows 8-bit field")
+    return (
+        labelling.landmark_indices.astype(codec_dtype),
+        labelling.distances.astype(np.uint8),
+    )
+
+
+def decode_labels(
+    num_vertices: int,
+    num_landmarks: int,
+    offsets: np.ndarray,
+    encoded_landmarks: np.ndarray,
+    encoded_distances: np.ndarray,
+) -> HighwayCoverLabelling:
+    """Rebuild a :class:`HighwayCoverLabelling` from codec-width arrays."""
+    return HighwayCoverLabelling(
+        num_vertices=num_vertices,
+        num_landmarks=num_landmarks,
+        offsets=offsets,
+        landmark_indices=encoded_landmarks.astype(np.int32),
+        distances=encoded_distances.astype(np.int32),
+    )

@@ -1,0 +1,154 @@
+"""Algorithm 1: constructing the highway cover labelling.
+
+One *pruned BFS* per landmark ``r``. The BFS maintains two per-level
+queues exactly as in the paper:
+
+* ``Q_label`` — vertices reached through landmark-free shortest paths;
+  each gets the entry ``(r, depth)`` added to its label.
+* ``Q_prune`` — landmarks, and vertices whose every shortest path from
+  ``r`` passes through another landmark; they receive no entry, but the
+  BFS keeps expanding through them so every vertex is still visited once
+  at its true BFS level.
+
+The label/prune split implements Lemma 3.7: ``(r, d(r, v))`` enters
+``L(v)`` iff some shortest ``r``–``v`` path contains no other landmark.
+Processing ``Q_label``'s children before ``Q_prune``'s within each level
+is what makes the "iff" hold — a vertex reachable at the same depth both
+ways is labelled.
+
+Both queues are numpy frontiers, so a level costs a handful of vectorized
+gathers rather than a Python loop over vertices.
+
+A by-product of visiting every vertex at its true level is that each
+pruned BFS also yields the exact distances from ``r`` to every other
+landmark — the highway row ``δH(r, ·)`` — so the highway is filled during
+construction, as noted below Algorithm 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
+from repro.errors import LandmarkError
+from repro.graphs.csr import frontier_neighbors
+from repro.graphs.graph import Graph
+from repro.utils.timing import TimeBudget
+
+
+def pruned_bfs_from_landmark(
+    graph: Graph,
+    landmark: int,
+    landmark_mask: np.ndarray,
+    landmark_ids: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run one pruned BFS (the body of Algorithm 1's outer loop).
+
+    Args:
+        graph: the input graph ``G``.
+        landmark: the root landmark vertex id ``r``.
+        landmark_mask: boolean mask over vertices marking all of ``R``.
+        landmark_ids: vertex ids of all landmarks in landmark-index order
+            (used to read off the highway row).
+
+    Returns:
+        ``(labelled_vertices, labelled_distances, highway_row)`` where the
+        first two arrays list the vertices receiving ``(r, d)`` entries,
+        and ``highway_row[j] = d_G(r, landmark_ids[j])`` (``inf`` when
+        unreachable).
+    """
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    visited[landmark] = True
+    dist_to_landmarks = np.full(n, -1, dtype=np.int64)  # only read at landmark ids
+    dist_to_landmarks[landmark] = 0
+
+    label_frontier = np.asarray([landmark], dtype=np.int64)
+    prune_frontier = np.empty(0, dtype=np.int64)
+    out_vertices = []
+    out_distances = []
+    depth = 0
+    while label_frontier.size or prune_frontier.size:
+        depth += 1
+        # Children of Q_label claim vertices first (Lines 8-16).
+        if label_frontier.size:
+            children = frontier_neighbors(graph.csr, label_frontier)
+            children = children[~visited[children]]
+            children = np.unique(children)
+        else:
+            children = np.empty(0, dtype=np.int64)
+        if children.size:
+            visited[children] = True
+            child_is_landmark = landmark_mask[children]
+            newly_labelled = children[~child_is_landmark]
+            pruned_landmarks = children[child_is_landmark]
+            if newly_labelled.size:
+                out_vertices.append(newly_labelled)
+                out_distances.append(np.full(newly_labelled.size, depth, dtype=np.int32))
+            if pruned_landmarks.size:
+                dist_to_landmarks[pruned_landmarks] = depth
+        else:
+            newly_labelled = np.empty(0, dtype=np.int64)
+            pruned_landmarks = np.empty(0, dtype=np.int64)
+        # Children of Q_prune: visited but never labelled (Lines 19-21).
+        if prune_frontier.size:
+            shadow = frontier_neighbors(graph.csr, prune_frontier)
+            shadow = shadow[~visited[shadow]]
+            shadow = np.unique(shadow)
+            if shadow.size:
+                visited[shadow] = True
+                dist_to_landmarks[shadow[landmark_mask[shadow]]] = depth
+        else:
+            shadow = np.empty(0, dtype=np.int64)
+        label_frontier = newly_labelled.astype(np.int64)
+        prune_frontier = np.concatenate([pruned_landmarks, shadow]).astype(np.int64)
+
+    if out_vertices:
+        labelled = np.concatenate(out_vertices)
+        distances = np.concatenate(out_distances)
+    else:
+        labelled = np.empty(0, dtype=np.int64)
+        distances = np.empty(0, dtype=np.int32)
+    row = dist_to_landmarks[landmark_ids].astype(float)
+    row[row < 0] = np.inf
+    return labelled, distances, row
+
+
+def build_highway_cover_labelling(
+    graph: Graph,
+    landmarks: Sequence[int],
+    budget_s: Optional[float] = None,
+) -> Tuple[HighwayCoverLabelling, Highway]:
+    """Algorithm 1 over all landmarks (the method the paper calls HL).
+
+    Args:
+        graph: input graph (assumed undirected/unweighted; connectivity is
+            not required — unreachable vertices simply get no entry).
+        landmarks: landmark vertex ids; their order fixes landmark
+            *indices* but, by Lemma 3.11, has no effect on the labels.
+        budget_s: optional wall-clock budget; exceeding it raises
+            :class:`~repro.errors.ConstructionBudgetExceeded` (DNF).
+
+    Returns:
+        ``(labelling, highway)`` with the highway matrix fully populated.
+    """
+    landmark_ids = np.asarray([int(v) for v in landmarks], dtype=np.int64)
+    if landmark_ids.size == 0:
+        raise LandmarkError("need at least one landmark")
+    for v in landmark_ids:
+        graph.validate_vertex(int(v))
+    highway = Highway(landmark_ids)
+    mask = highway.landmark_mask(graph.num_vertices)
+    accumulator = LabelAccumulator(graph.num_vertices, len(landmark_ids))
+    budget = TimeBudget(budget_s, method="HL")
+    for index, landmark in enumerate(landmark_ids):
+        budget.check()
+        vertices, distances, row = pruned_bfs_from_landmark(
+            graph, int(landmark), mask, landmark_ids
+        )
+        accumulator.add_landmark_result(index, vertices, distances)
+        highway.set_row(int(landmark), row)
+    return accumulator.freeze(), highway

@@ -1,0 +1,103 @@
+"""The highway structure ``H = (R, δH)`` (Definition 3.1).
+
+A highway is a landmark set ``R`` together with the exact pairwise
+distances between landmarks. Algorithm 1 obtains these distances for free
+(every pruned BFS visits all landmarks at their true BFS level), so the
+highway is assembled during labelling construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import LandmarkError
+
+_INF_U16 = np.iinfo(np.uint16).max
+
+
+class Highway:
+    """Landmark set plus the dense landmark-to-landmark distance matrix.
+
+    Landmarks keep two identities: their vertex id in the graph and their
+    dense *landmark index* ``0..k-1`` used by labels and the matrix.
+
+    Args:
+        landmarks: vertex ids of the landmarks, in landmark-index order.
+        distances: optional ``(k, k)`` matrix of exact pairwise distances;
+            if omitted, the matrix starts unknown (all ``inf`` except the
+            diagonal) and is filled by the construction.
+    """
+
+    def __init__(
+        self, landmarks: Sequence[int], distances: np.ndarray = None
+    ) -> None:
+        landmark_list = [int(v) for v in landmarks]
+        if not landmark_list:
+            raise LandmarkError("highway needs at least one landmark")
+        if len(set(landmark_list)) != len(landmark_list):
+            raise LandmarkError("landmark set contains duplicates")
+        if any(v < 0 for v in landmark_list):
+            raise LandmarkError("landmark ids must be non-negative")
+        self.landmarks = np.asarray(landmark_list, dtype=np.int64)
+        k = len(landmark_list)
+        self.index_of: Dict[int, int] = {v: i for i, v in enumerate(landmark_list)}
+        if distances is None:
+            self._matrix = np.full((k, k), np.inf)
+            np.fill_diagonal(self._matrix, 0.0)
+        else:
+            matrix = np.asarray(distances, dtype=float)
+            if matrix.shape != (k, k):
+                raise LandmarkError(
+                    f"distance matrix must be ({k}, {k}), got {matrix.shape}"
+                )
+            if not np.allclose(matrix, matrix.T, equal_nan=True):
+                raise LandmarkError("highway distance matrix must be symmetric")
+            if (np.diag(matrix) != 0).any():
+                raise LandmarkError("highway diagonal must be zero")
+            self._matrix = matrix
+
+    @property
+    def num_landmarks(self) -> int:
+        return len(self.landmarks)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The ``(k, k)`` distance matrix ``δH`` (read as float, inf = unknown)."""
+        return self._matrix
+
+    def is_landmark(self, vertex: int) -> bool:
+        return int(vertex) in self.index_of
+
+    def landmark_mask(self, num_vertices: int) -> np.ndarray:
+        """Boolean mask of length ``num_vertices`` marking landmarks."""
+        mask = np.zeros(num_vertices, dtype=bool)
+        valid = self.landmarks[self.landmarks < num_vertices]
+        if len(valid) != len(self.landmarks):
+            raise LandmarkError("landmark id exceeds graph size")
+        mask[self.landmarks] = True
+        return mask
+
+    def distance(self, r1: int, r2: int) -> float:
+        """``δH(r1, r2)`` for two landmark *vertex ids*."""
+        try:
+            i, j = self.index_of[int(r1)], self.index_of[int(r2)]
+        except KeyError as exc:
+            raise LandmarkError(f"{exc.args[0]} is not a landmark") from exc
+        return float(self._matrix[i, j])
+
+    def set_row(self, landmark_vertex: int, row: np.ndarray) -> None:
+        """Install one landmark's distances to every landmark (symmetric)."""
+        i = self.index_of[int(landmark_vertex)]
+        if row.shape != (self.num_landmarks,):
+            raise LandmarkError("highway row has wrong length")
+        self._matrix[i, :] = row
+        self._matrix[:, i] = row
+
+    def size_bytes(self, bytes_per_entry: int = 1) -> int:
+        """Highway storage cost; k^2 distance cells (distances < 256)."""
+        return self.num_landmarks * self.num_landmarks * bytes_per_entry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Highway(k={self.num_landmarks})"

@@ -1,0 +1,164 @@
+"""The highway cover label store.
+
+Labels map each non-landmark vertex ``v`` to a small set of distance
+entries ``(landmark_index, distance)``. After construction the store is
+frozen into a CSR-of-labels: two flat numpy arrays plus an offset array,
+which is both compact (Table 3's byte accounting reads straight off it)
+and fast to slice at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class VertexLabel:
+    """The label ``L(v)`` of one vertex: parallel landmark/distance arrays."""
+
+    landmark_indices: np.ndarray  # dense landmark indices, strictly increasing
+    distances: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.landmark_indices)
+
+    def entries(self) -> Iterator[Tuple[int, int]]:
+        for r, d in zip(self.landmark_indices, self.distances):
+            yield int(r), int(d)
+
+
+class HighwayCoverLabelling:
+    """Frozen per-vertex labels over a fixed landmark set.
+
+    Build with :class:`LabelAccumulator`; query with :meth:`label` /
+    :meth:`label_arrays`. ``size()`` is the paper's labelling size
+    ``Σ_v |L(v)|`` (number of entries, used for ALS in Table 2);
+    byte sizes for Table 3 live in :mod:`repro.core.compression`.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_landmarks: int,
+        offsets: np.ndarray,
+        landmark_indices: np.ndarray,
+        distances: np.ndarray,
+    ) -> None:
+        if offsets.shape != (num_vertices + 1,):
+            raise ReproError("label offsets must have n + 1 entries")
+        if len(landmark_indices) != len(distances):
+            raise ReproError("landmark and distance arrays must align")
+        self.num_vertices = num_vertices
+        self.num_landmarks = num_landmarks
+        self.offsets = offsets
+        self.landmark_indices = landmark_indices
+        self.distances = distances
+
+    def label(self, v: int) -> VertexLabel:
+        """The label ``L(v)`` (empty for landmarks)."""
+        lo, hi = self.offsets[v], self.offsets[v + 1]
+        return VertexLabel(self.landmark_indices[lo:hi], self.distances[lo:hi])
+
+    def label_arrays(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw ``(landmark_indices, distances)`` views for ``L(v)``."""
+        lo, hi = self.offsets[v], self.offsets[v + 1]
+        return self.landmark_indices[lo:hi], self.distances[lo:hi]
+
+    def label_size(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def size(self) -> int:
+        """Total number of distance entries, ``size(L) = Σ_v |L(v)|``."""
+        return int(len(self.landmark_indices))
+
+    def average_label_size(self) -> float:
+        """ALS as reported in Table 2 (entries per vertex)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.size() / self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HighwayCoverLabelling):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self.num_landmarks == other.num_landmarks
+            and np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.landmark_indices, other.landmark_indices)
+            and np.array_equal(self.distances, other.distances)
+        )
+
+    def __hash__(self) -> int:  # labels are frozen; id-based hash is fine
+        return id(self)
+
+
+class LabelAccumulator:
+    """Mutable builder that collects per-landmark BFS output.
+
+    Algorithm 1 produces, for each landmark index ``r``, the list of
+    vertices it labels and their distances. The accumulator stores one
+    (vertices, distances) pair per landmark and transposes everything into
+    the per-vertex CSR on :meth:`freeze`. Because each landmark's pruned
+    BFS is independent (Lemma 3.11), this transpose is also what makes the
+    parallel builder trivially correct: results can arrive in any order.
+    """
+
+    def __init__(self, num_vertices: int, num_landmarks: int) -> None:
+        self.num_vertices = num_vertices
+        self.num_landmarks = num_landmarks
+        self._per_landmark: List[Tuple[np.ndarray, np.ndarray]] = [
+            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32))
+        ] * num_landmarks
+        self._filled = [False] * num_landmarks
+
+    def add_landmark_result(
+        self, landmark_index: int, vertices: np.ndarray, distances: np.ndarray
+    ) -> None:
+        """Install the pruned-BFS output of one landmark (any order)."""
+        if self._filled[landmark_index]:
+            raise ReproError(f"landmark index {landmark_index} filled twice")
+        if len(vertices) != len(distances):
+            raise ReproError("vertices/distances length mismatch")
+        self._per_landmark[landmark_index] = (
+            np.asarray(vertices, dtype=np.int64),
+            np.asarray(distances, dtype=np.int32),
+        )
+        self._filled[landmark_index] = True
+
+    def freeze(self) -> HighwayCoverLabelling:
+        """Transpose per-landmark results into the per-vertex CSR store.
+
+        Entries within each vertex label come out sorted by landmark index
+        (guaranteed by stable counting sort over landmark-major input).
+        """
+        if not all(self._filled):
+            missing = [i for i, f in enumerate(self._filled) if not f]
+            raise ReproError(f"missing landmark results: {missing}")
+        total = sum(len(v) for v, _ in self._per_landmark)
+        counts = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        for vertices, _ in self._per_landmark:
+            if len(vertices):
+                np.add.at(counts, vertices + 1, 1)
+        offsets = np.cumsum(counts)
+        landmark_indices = np.empty(total, dtype=np.int32)
+        distances = np.empty(total, dtype=np.int32)
+        cursor = offsets[:-1].copy()
+        for r, (vertices, dists) in enumerate(self._per_landmark):
+            if not len(vertices):
+                continue
+            slots = cursor[vertices]
+            landmark_indices[slots] = r
+            distances[slots] = dists
+            cursor[vertices] += 1
+        return HighwayCoverLabelling(
+            num_vertices=self.num_vertices,
+            num_landmarks=self.num_landmarks,
+            offsets=offsets,
+            landmark_indices=landmark_indices,
+            distances=distances,
+        )

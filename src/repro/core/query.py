@@ -1,0 +1,191 @@
+"""The querying framework (Section 4): the method the paper calls **HL**.
+
+:class:`HighwayCoverOracle` ties together the offline component (highway
+cover labelling, Algorithm 1) and the online component (distance-bounded
+bidirectional search, Algorithm 2). By Theorem 4.6 the combination returns
+exact distances for every vertex pair.
+
+Vertex-class handling (all proven exact):
+
+* ``s == t`` — zero.
+* both landmarks — highway lookup ``δH(s, t)``.
+* one landmark ``r``, one vertex ``v`` — take the landmark on a shortest
+  ``r``–``v`` path that is closest to ``v``; by Lemma 3.7 the pruned BFS
+  labelled ``v`` from that landmark, hence
+  ``d(r, v) = min over (rj, d) in L(v) of δH(r, rj) + d`` exactly.
+* two non-landmarks — ``d⊤`` upper bound (Eq. 4 / Lemma 5.1), then
+  Algorithm 2 on the sparsified graph ``G[V \\ R]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import upper_bound_distance
+from repro.core.compression import LabelCodec, encoded_size_bytes
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling
+from repro.core.parallel import build_highway_cover_labelling_parallel
+from repro.errors import NotBuiltError
+from repro.graphs.graph import Graph
+from repro.landmarks.selection import select_landmarks
+from repro.search.bounded import bounded_bidirectional_distance
+
+
+class HighwayCoverOracle:
+    """Exact distance oracle backed by highway cover labelling.
+
+    This is the library's flagship object — **HL** in the paper, **HL-P**
+    with ``parallel=True``, **HL(8)** with ``codec="u8"``.
+
+    Args:
+        num_landmarks: size of the landmark set ``R`` (the paper uses 20
+            for Tables 2-3 and sweeps 10-50 in Figures 7-9).
+        landmark_strategy: how to pick landmarks; the paper uses
+            ``"degree"`` (top degrees). See :mod:`repro.landmarks`.
+        parallel: construct labels with the landmark-parallel builder
+            (Section 5.1, HL-P). Labels are identical by Lemma 3.11.
+        codec: label storage codec for byte accounting: ``"u32"``
+            reproduces the baselines' 32+8-bit entries, ``"u8"`` is the
+            paper's HL(8) compression (8+8 bits).
+        budget_s: optional construction budget (DNF reporting).
+        workers: worker count for ``parallel=True``.
+
+    Example:
+        >>> from repro.graphs import barabasi_albert_graph
+        >>> g = barabasi_albert_graph(300, 3, seed=7)
+        >>> oracle = HighwayCoverOracle(num_landmarks=10).build(g)
+        >>> d = oracle.query(3, 250)
+    """
+
+    name = "HL"
+
+    def __init__(
+        self,
+        num_landmarks: int = 20,
+        landmark_strategy: str = "degree",
+        parallel: bool = False,
+        codec: str = "u32",
+        budget_s: Optional[float] = None,
+        workers: Optional[int] = None,
+        landmarks: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.num_landmarks = num_landmarks
+        self.landmark_strategy = landmark_strategy
+        self.parallel = parallel
+        self.codec = LabelCodec(codec)
+        self.budget_s = budget_s
+        self.workers = workers
+        self._explicit_landmarks = list(landmarks) if landmarks is not None else None
+        self.graph: Optional[Graph] = None
+        self.labelling: Optional[HighwayCoverLabelling] = None
+        self.highway: Optional[Highway] = None
+        self._landmark_mask: Optional[np.ndarray] = None
+        self.construction_seconds: float = 0.0
+
+    # -- Offline phase -------------------------------------------------------
+
+    def build(self, graph: Graph) -> "HighwayCoverOracle":
+        """Select landmarks and run Algorithm 1 (or HL-P)."""
+        from repro.utils.timing import Stopwatch
+
+        if self._explicit_landmarks is not None:
+            landmark_ids = [int(v) for v in self._explicit_landmarks]
+        else:
+            landmark_ids = select_landmarks(
+                graph, self.num_landmarks, strategy=self.landmark_strategy
+            )
+        with Stopwatch() as sw:
+            if self.parallel:
+                labelling, highway = build_highway_cover_labelling_parallel(
+                    graph, landmark_ids, budget_s=self.budget_s, workers=self.workers
+                )
+            else:
+                labelling, highway = build_highway_cover_labelling(
+                    graph, landmark_ids, budget_s=self.budget_s
+                )
+        self.construction_seconds = sw.elapsed
+        self.graph = graph
+        self.labelling = labelling
+        self.highway = highway
+        self._landmark_mask = highway.landmark_mask(graph.num_vertices)
+        self.codec.validate(labelling, highway)
+        return self
+
+    # -- Online phase ----------------------------------------------------------
+
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest-path distance ``dG(s, t)`` (Theorem 4.6)."""
+        graph, labelling, highway = self._require_built()
+        graph.validate_vertex(s)
+        graph.validate_vertex(t)
+        if s == t:
+            return 0.0
+        s_is_landmark = bool(self._landmark_mask[s])
+        t_is_landmark = bool(self._landmark_mask[t])
+        if s_is_landmark and t_is_landmark:
+            return highway.distance(s, t)
+        if s_is_landmark:
+            return self._landmark_to_vertex(s, t)
+        if t_is_landmark:
+            return self._landmark_to_vertex(t, s)
+        bound = upper_bound_distance(labelling, highway, s, t)
+        return bounded_bidirectional_distance(
+            graph, s, t, bound, excluded=self._landmark_mask
+        )
+
+    def upper_bound(self, s: int, t: int) -> float:
+        """The offline-only estimate ``d⊤(s, t)`` (admissible upper bound)."""
+        _, labelling, highway = self._require_built()
+        if s == t:
+            return 0.0
+        if self._landmark_mask[s] and self._landmark_mask[t]:
+            return highway.distance(s, t)
+        if self._landmark_mask[s]:
+            return self._landmark_to_vertex(s, t)
+        if self._landmark_mask[t]:
+            return self._landmark_to_vertex(t, s)
+        return upper_bound_distance(labelling, highway, s, t)
+
+    def is_covered(self, s: int, t: int) -> bool:
+        """True iff the labels alone answer the pair exactly.
+
+        "Covered" pairs (Figure 9) are those whose upper bound is realized
+        by a shortest path through a landmark; we detect them as pairs
+        where the bounded search cannot improve on the bound.
+        """
+        return self.query(s, t) == self.upper_bound(s, t)
+
+    def _landmark_to_vertex(self, landmark: int, vertex: int) -> float:
+        """Exact ``d(r, v)`` from ``L(v)`` + highway (docstring proof above)."""
+        _, labelling, highway = self._require_built()
+        idx, dist = labelling.label_arrays(vertex)
+        if len(idx) == 0:
+            return float("inf")
+        r_index = highway.index_of[int(landmark)]
+        row = highway.matrix[r_index]
+        return float((row[idx] + dist).min())
+
+    # -- Reporting ---------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Labelling size in bytes under the configured codec (Table 3)."""
+        _, labelling, highway = self._require_built()
+        return encoded_size_bytes(labelling, highway, self.codec)
+
+    def average_label_size(self) -> float:
+        """ALS — average number of entries per label (Table 2)."""
+        _, labelling, _ = self._require_built()
+        return labelling.average_label_size()
+
+    def _require_built(self):
+        if self.graph is None or self.labelling is None or self.highway is None:
+            raise NotBuiltError("call build(graph) before querying")
+        return self.graph, self.labelling, self.highway
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "-P" if self.parallel else ""
+        return f"HighwayCoverOracle(HL{suffix}, k={self.num_landmarks})"

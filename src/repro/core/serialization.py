@@ -1,0 +1,133 @@
+"""Persisting a built HL index to disk (extension).
+
+The paper's workflow is build-once/query-often: a billion-scale
+construction that takes hours must not be repeated per process. This
+module serializes the complete oracle state — landmark set, highway
+matrix and the CSR-of-labels — into a single compact binary file, using
+the HL(8)-style narrow encodings when they fit.
+
+Format (little-endian):
+
+    magic   4s   "RPHL"
+    version u32
+    flags   u32      bit 0: labels use 8-bit landmark ids
+    n       u64      vertices
+    k       u32      landmarks
+    entries u64      total label entries
+    landmarks   k * i64
+    highway     k*k * u16       (0xFFFF = unreachable)
+    offsets     (n+1) * i64
+    label_ids   entries * (u8 | u32)
+    label_dist  entries * u8
+
+The graph itself is *not* stored (it has its own cache format in
+:mod:`repro.graphs.io`); :func:`load_oracle` takes the graph as input
+and validates that the stored landmark set fits it.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling
+from repro.core.query import HighwayCoverOracle
+from repro.errors import NotBuiltError, ReproError
+from repro.graphs.graph import Graph
+
+_MAGIC = b"RPHL"
+_VERSION = 1
+_FLAG_NARROW_IDS = 1
+_UNREACHABLE_U16 = 0xFFFF
+
+PathLike = Union[str, Path]
+
+
+def save_oracle(oracle: HighwayCoverOracle, path: PathLike) -> int:
+    """Write a built oracle's index to ``path``; returns bytes written."""
+    if oracle.labelling is None or oracle.highway is None:
+        raise NotBuiltError("cannot save an unbuilt oracle")
+    labelling, highway = oracle.labelling, oracle.highway
+    narrow = highway.num_landmarks <= 256
+    flags = _FLAG_NARROW_IDS if narrow else 0
+
+    matrix = highway.matrix.copy()
+    matrix[np.isinf(matrix)] = _UNREACHABLE_U16
+    if (matrix[~np.isinf(highway.matrix)] > 65534).any():
+        raise ReproError("highway distance exceeds u16 range")
+
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(
+            struct.pack(
+                "<IIQIQ",
+                _VERSION,
+                flags,
+                labelling.num_vertices,
+                highway.num_landmarks,
+                labelling.size(),
+            )
+        )
+        handle.write(highway.landmarks.astype("<i8").tobytes())
+        handle.write(matrix.astype("<u2").tobytes())
+        handle.write(labelling.offsets.astype("<i8").tobytes())
+        id_dtype = "<u1" if narrow else "<u4"
+        handle.write(labelling.landmark_indices.astype(id_dtype).tobytes())
+        handle.write(labelling.distances.astype("<u1").tobytes())
+    return path.stat().st_size
+
+
+def load_oracle(graph: Graph, path: PathLike) -> HighwayCoverOracle:
+    """Reconstruct a queryable oracle from ``path`` over ``graph``.
+
+    Raises:
+        ReproError: on bad magic/version, or if the stored index does not
+            match the graph's vertex count.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        if handle.read(4) != _MAGIC:
+            raise ReproError(f"{path}: not a repro HL index file")
+        version, flags, n, k, entries = struct.unpack("<IIQIQ", handle.read(28))
+        if version != _VERSION:
+            raise ReproError(f"{path}: unsupported index version {version}")
+        if n != graph.num_vertices:
+            raise ReproError(
+                f"{path}: index built for n={n}, graph has n={graph.num_vertices}"
+            )
+        landmarks = np.frombuffer(handle.read(8 * k), dtype="<i8").astype(np.int64)
+        matrix = (
+            np.frombuffer(handle.read(2 * k * k), dtype="<u2")
+            .astype(float)
+            .reshape(k, k)
+        )
+        matrix[matrix == _UNREACHABLE_U16] = np.inf
+        offsets = np.frombuffer(handle.read(8 * (n + 1)), dtype="<i8").astype(np.int64)
+        narrow = bool(flags & _FLAG_NARROW_IDS)
+        id_bytes = entries * (1 if narrow else 4)
+        ids = np.frombuffer(
+            handle.read(id_bytes), dtype="<u1" if narrow else "<u4"
+        ).astype(np.int32)
+        dists = np.frombuffer(handle.read(entries), dtype="<u1").astype(np.int32)
+
+    labelling = HighwayCoverLabelling(
+        num_vertices=int(n),
+        num_landmarks=int(k),
+        offsets=offsets,
+        landmark_indices=ids,
+        distances=dists,
+    )
+    highway = Highway(landmarks, matrix)
+    oracle = HighwayCoverOracle(
+        num_landmarks=int(k), landmarks=[int(r) for r in landmarks]
+    )
+    oracle.graph = graph
+    oracle.labelling = labelling
+    oracle.highway = highway
+    oracle._landmark_mask = highway.landmark_mask(graph.num_vertices)
+    return oracle

@@ -1,0 +1,132 @@
+"""Executable forms of the paper's theorems, used by tests and Figure 1(c).
+
+* :func:`reference_minimal_entries` — a brute-force oracle for Lemma 3.7:
+  the exact set of (landmark, vertex) entries a HWC-minimal labelling must
+  contain, computed from full BFS distance arrays.
+* :func:`is_hwc_minimal` — Theorem 3.12 check: a labelling is minimal iff
+  it equals the reference entry set.
+* :func:`is_highway_cover` — Definition 3.2 check: every r-constrained
+  distance is recoverable from the labels plus the highway.
+
+These are O(k * n) to O(k^2 * n) with full BFS sweeps — fine for the test
+graphs, deliberately independent of Algorithm 1's code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling
+from repro.graphs.graph import Graph
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+def _landmark_distance_table(graph: Graph, highway: Highway) -> np.ndarray:
+    """Full (k, n) matrix of exact BFS distances from every landmark."""
+    rows = [bfs_distances(graph, int(r)) for r in highway.landmarks]
+    return np.stack(rows).astype(np.int64)
+
+
+def reference_minimal_entries(
+    graph: Graph, highway: Highway
+) -> Set[Tuple[int, int]]:
+    """The entry set required by Lemma 3.7, via brute force.
+
+    ``(r_index, v)`` is in the result iff ``v`` is reachable from landmark
+    ``r``, is not itself a landmark, and **some** shortest ``r``–``v``
+    path avoids all other landmarks. The condition is evaluated by a
+    label-queue-free criterion: run the "no other landmark on the path"
+    test as a dynamic program over BFS levels — a vertex is *cleanly
+    reachable* from ``r`` iff it has a cleanly reachable predecessor on a
+    shortest path and is not a landmark.
+    """
+    table = _landmark_distance_table(graph, highway)
+    mask = highway.landmark_mask(graph.num_vertices)
+    required: Set[Tuple[int, int]] = set()
+    for r_index in range(highway.num_landmarks):
+        dist = table[r_index]
+        reachable = dist != UNREACHED
+        order = np.argsort(dist[reachable], kind="stable")
+        vertices_by_level = np.flatnonzero(reachable)[order]
+        clean = np.zeros(graph.num_vertices, dtype=bool)
+        clean[int(highway.landmarks[r_index])] = True
+        for v in vertices_by_level:
+            v = int(v)
+            if dist[v] == 0:
+                continue
+            has_clean_parent = any(
+                dist[int(u)] == dist[v] - 1 and clean[int(u)]
+                for u in graph.neighbors(v)
+            )
+            if has_clean_parent and not mask[v]:
+                clean[v] = True
+                required.add((r_index, v))
+    return required
+
+
+def labelling_entry_set(labelling: HighwayCoverLabelling) -> Set[Tuple[int, int]]:
+    """All (landmark_index, vertex) pairs present in a labelling."""
+    entries: Set[Tuple[int, int]] = set()
+    for v in range(labelling.num_vertices):
+        idx, _ = labelling.label_arrays(v)
+        for r in idx:
+            entries.add((int(r), v))
+    return entries
+
+
+def is_hwc_minimal(
+    graph: Graph, labelling: HighwayCoverLabelling, highway: Highway
+) -> bool:
+    """Theorem 3.12: minimal iff the entry set matches the Lemma 3.7 oracle."""
+    return labelling_entry_set(labelling) == reference_minimal_entries(graph, highway)
+
+
+def is_highway_cover(
+    graph: Graph, labelling: HighwayCoverLabelling, highway: Highway
+) -> bool:
+    """Definition 3.2 check (exactness of r-constrained distances).
+
+    For every landmark ``r`` and every pair of non-landmark vertices the
+    highway cover property is equivalent to: the label-decoded distance
+    ``min over (ri, di) in L(v) of di + δH(ri, r)`` equals the true
+    ``d(r, v)`` for every vertex ``v`` reachable from ``r``. (If the
+    decoded landmark distances are exact on both sides, every
+    r-constrained s-t distance decomposes exactly.)
+    """
+    table = _landmark_distance_table(graph, highway)
+    matrix = highway.matrix
+    for r_index in range(highway.num_landmarks):
+        true_dist = table[r_index]
+        for v in range(graph.num_vertices):
+            if bool(highway.landmark_mask(graph.num_vertices)[v]):
+                continue
+            idx, dist = labelling.label_arrays(v)
+            if true_dist[v] == UNREACHED:
+                continue
+            if len(idx) == 0:
+                return False
+            decoded = float((matrix[r_index, idx] + dist).min())
+            if decoded != float(true_dist[v]):
+                return False
+    return True
+
+
+def labelling_sizes_by_order(
+    graph: Graph, landmark_orders
+) -> Dict[tuple, int]:
+    """Labelling size per landmark ordering — Lemma 3.11's experiment.
+
+    For HL every ordering must give the same size (and identical labels);
+    the PLL counterpart in :mod:`repro.baselines.pll` shows the contrast
+    (Example 3.10 / Figure 4).
+    """
+    from repro.core.construction import build_highway_cover_labelling
+
+    sizes: Dict[tuple, int] = {}
+    for order in landmark_orders:
+        labelling, _ = build_highway_cover_labelling(graph, list(order))
+        sizes[tuple(order)] = labelling.size()
+    return sizes

@@ -1,0 +1,25 @@
+"""Datasets: the paper's running example and the 12 surrogate networks."""
+
+from repro.datasets.example_graph import (
+    EXAMPLE_LANDMARKS,
+    EXAMPLE_LABELS,
+    paper_example_graph,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    load_all_datasets,
+)
+
+__all__ = [
+    "paper_example_graph",
+    "EXAMPLE_LANDMARKS",
+    "EXAMPLE_LABELS",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "load_all_datasets",
+]

@@ -1,0 +1,66 @@
+"""The paper's running example (Figures 2-5), reconstructed.
+
+The paper's 14-vertex example graph with landmarks ``{1, 5, 9}`` drives
+Examples 3.3-4.3 and Figures 2-5. The full edge set is only drawn, not
+listed, so we reconstruct a graph that is *provably consistent* with every
+quantitative statement in the text:
+
+* the highway cover labels of Figure 2(c) — thirteen entries in total
+  (``LS = 13`` in Figure 3), reproduced entry-for-entry;
+* Example 4.2 — the upper bound between vertices 2 and 11 is 3 via
+  landmarks (5, 1) and 4 via (9, 1);
+* Example 4.3 — the exact distance between 2 and 11 equals the bound 3;
+* Example 3.5 — vertex 7 is labelled by landmarks 5 (distance 2, via the
+  clean path through vertex 2) and 9 (distance 1), but not by landmark 1.
+
+Vertices are named 1..14 as in the paper; vertex 0 is unused so tests can
+quote the paper's ids directly. ``tests/test_paper_examples.py`` asserts
+all of the above against Algorithm 1's output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Graph
+
+#: Landmark vertex ids of the running example (paper order).
+EXAMPLE_LANDMARKS: List[int] = [1, 5, 9]
+
+#: Figure 2(c): vertex -> sorted list of (landmark, distance) entries.
+EXAMPLE_LABELS: Dict[int, List[Tuple[int, int]]] = {
+    2: [(5, 1), (9, 2)],
+    3: [(5, 1)],
+    4: [(1, 1)],
+    6: [(9, 1)],
+    7: [(5, 2), (9, 1)],
+    8: [(5, 1)],
+    10: [(9, 1)],
+    11: [(1, 1)],
+    12: [(5, 1)],
+    13: [(1, 1)],
+    14: [(1, 1)],
+}
+
+_EDGES: List[Tuple[int, int]] = [
+    (1, 4),
+    (1, 5),
+    (1, 9),
+    (1, 11),
+    (1, 13),
+    (1, 14),
+    (5, 2),
+    (5, 3),
+    (5, 8),
+    (5, 12),
+    (9, 6),
+    (9, 7),
+    (9, 10),
+    (2, 7),
+    (4, 11),
+]
+
+
+def paper_example_graph() -> Graph:
+    """The 14-vertex example graph (vertex 0 is an isolated placeholder)."""
+    return Graph(15, _EDGES, name="paper-example")

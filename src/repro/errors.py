@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph input (bad vertex ids, malformed edge lists, ...)."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range for the graph it was used with."""
+
+    def __init__(self, vertex: int, n: int) -> None:
+        super().__init__(f"vertex {vertex} out of range for graph with {n} vertices")
+        self.vertex = vertex
+        self.n = n
+
+
+class LandmarkError(ReproError):
+    """Invalid landmark set (empty, duplicates, out-of-range ids, ...)."""
+
+
+class NotBuiltError(ReproError):
+    """An oracle was queried before :meth:`build` was called."""
+
+
+class ConstructionBudgetExceeded(ReproError):
+    """A labelling construction exceeded its time budget.
+
+    The experiment harness renders this as ``DNF`` (did not finish), which
+    is how the paper reports methods that ran out of time or memory.
+    """
+
+    def __init__(self, method: str, budget_s: float) -> None:
+        super().__init__(f"{method}: construction exceeded budget of {budget_s:.1f}s")
+        self.method = method
+        self.budget_s = budget_s
+
+
+class CompressionError(ReproError):
+    """A labelling cannot be encoded with the requested codec.
+
+    For example HL(8) requires at most 256 landmarks and distances < 256.
+    """

@@ -1,0 +1,23 @@
+"""Experiment drivers that regenerate every table and figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-shaped rows; all are runnable as
+``python -m repro.experiments.<name>``. The pytest-benchmark wrappers in
+``benchmarks/`` call the same ``run`` functions.
+"""
+
+from repro.experiments.harness import (
+    DNF,
+    ExperimentConfig,
+    MethodMeasurement,
+    make_method,
+    measure_method,
+)
+
+__all__ = [
+    "DNF",
+    "ExperimentConfig",
+    "MethodMeasurement",
+    "make_method",
+    "measure_method",
+]

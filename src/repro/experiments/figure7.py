@@ -1,0 +1,88 @@
+"""Figure 7 — HL construction time (a-d) and query time (e-g) vs #landmarks.
+
+The paper sweeps the landmark count from 10 to 50 (top degrees) on all
+twelve datasets. Expected shapes, both asserted in EXPERIMENTS.md:
+
+* construction time grows ~linearly in the number of landmarks
+  (one pruned BFS per landmark);
+* query time stays flat or slightly improves (tighter upper bounds from
+  better pair coverage offset the larger labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.query import HighwayCoverOracle
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.harness import ExperimentConfig
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.utils.formatting import format_table
+
+LANDMARK_SWEEP = [10, 20, 30, 40, 50]
+
+
+@dataclass
+class Figure7Row:
+    dataset: str
+    construction_seconds: Dict[int, float] = field(default_factory=dict)
+    avg_query_ms: Dict[int, float] = field(default_factory=dict)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Figure7Row]:
+    import time
+
+    config = config or ExperimentConfig()
+    names = config.datasets or list(DATASETS)
+    rows: List[Figure7Row] = []
+    for name in names:
+        graph = load_dataset(name, scale=config.scale)
+        pairs = sample_vertex_pairs(graph, config.num_query_pairs, seed=config.seed)
+        row = Figure7Row(dataset=name)
+        for k in LANDMARK_SWEEP:
+            oracle = HighwayCoverOracle(num_landmarks=k).build(graph)
+            row.construction_seconds[k] = oracle.construction_seconds
+            t0 = time.perf_counter()
+            for s, t in pairs:
+                oracle.query(int(s), int(t))
+            row.avg_query_ms[k] = (time.perf_counter() - t0) / len(pairs) * 1e3
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Figure7Row]) -> str:
+    headers = (
+        ["Dataset"]
+        + [f"CT[s] k={k}" for k in LANDMARK_SWEEP]
+        + [f"QT[ms] k={k}" for k in LANDMARK_SWEEP]
+    )
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        cells += [f"{row.construction_seconds[k]:.2f}" for k in LANDMARK_SWEEP]
+        cells += [f"{row.avg_query_ms[k]:.3f}" for k in LANDMARK_SWEEP]
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def linearity_ratio(row: Figure7Row) -> float:
+    """CT(50)/CT(10): ~5 when construction is linear in #landmarks."""
+    lo = row.construction_seconds[LANDMARK_SWEEP[0]]
+    hi = row.construction_seconds[LANDMARK_SWEEP[-1]]
+    return hi / lo if lo > 0 else float("inf")
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    rows = run(config)
+    print(f"Figure 7: HL under 10-50 landmarks (scale={config.scale})")
+    print(render(rows))
+    print(
+        "CT(50)/CT(10) ratios (linear scaling => ~5): "
+        + ", ".join(f"{r.dataset}={linearity_ratio(r):.1f}" for r in rows)
+    )
+
+
+if __name__ == "__main__":
+    main()

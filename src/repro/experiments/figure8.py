@@ -1,0 +1,63 @@
+"""Figure 8 — HL labelling sizes under 10-50 landmarks vs FD with 20.
+
+Expected shape (paper): HL's size grows ~linearly with the number of
+landmarks, yet even HL-50 stays at or below FD-20's size on almost every
+dataset (FD stores an entry for *every* vertex per landmark; HL prunes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.fd import FullyDynamicOracle
+from repro.core.query import HighwayCoverOracle
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.harness import ExperimentConfig
+from repro.utils.formatting import format_bytes, format_table
+
+LANDMARK_SWEEP = [10, 20, 30, 40, 50]
+
+
+@dataclass
+class Figure8Row:
+    dataset: str
+    hl_size_bytes: Dict[int, int] = field(default_factory=dict)
+    fd_size_bytes: int = 0
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Figure8Row]:
+    config = config or ExperimentConfig()
+    names = config.datasets or list(DATASETS)
+    rows: List[Figure8Row] = []
+    for name in names:
+        graph = load_dataset(name, scale=config.scale)
+        row = Figure8Row(dataset=name)
+        for k in LANDMARK_SWEEP:
+            oracle = HighwayCoverOracle(num_landmarks=k).build(graph)
+            row.hl_size_bytes[k] = oracle.size_bytes()
+        fd = FullyDynamicOracle(num_landmarks=config.num_landmarks).build(graph)
+        row.fd_size_bytes = fd.size_bytes()
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Figure8Row]) -> str:
+    headers = ["Dataset"] + [f"HL-{k}" for k in LANDMARK_SWEEP] + ["FD-20"]
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        cells += [format_bytes(row.hl_size_bytes[k]) for k in LANDMARK_SWEEP]
+        cells.append(format_bytes(row.fd_size_bytes))
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    print(f"Figure 8: labelling sizes, HL 10-50 landmarks vs FD-20 (scale={config.scale})")
+    print(render(run(config)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Figure 9 — pair coverage ratios, HL 10-50 landmarks vs FD-20.
+
+A pair is *covered* when the offline upper bound is already the exact
+distance — i.e. some (bit-parallel-augmented, for FD) landmark lies on a
+shortest path between the endpoints. Expected shapes (paper §6.4.4):
+
+* HL's coverage increases with the landmark count;
+* FD-20's coverage is at or above HL-20's on most datasets: FD's
+  bit-parallel masks effectively add up to 64 neighbour sub-hubs per
+  landmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.fd import FullyDynamicOracle
+from repro.core.query import HighwayCoverOracle
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.harness import ExperimentConfig
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.utils.formatting import format_table
+
+LANDMARK_SWEEP = [10, 20, 30, 40, 50]
+
+
+@dataclass
+class Figure9Row:
+    dataset: str
+    hl_coverage: Dict[int, float] = field(default_factory=dict)
+    fd_coverage: float = 0.0
+
+
+def _coverage(oracle, pairs) -> float:
+    covered = sum(1 for s, t in pairs if oracle.is_covered(int(s), int(t)))
+    return covered / len(pairs) if len(pairs) else 0.0
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Figure9Row]:
+    config = config or ExperimentConfig()
+    names = config.datasets or list(DATASETS)
+    rows: List[Figure9Row] = []
+    for name in names:
+        graph = load_dataset(name, scale=config.scale)
+        pairs = sample_vertex_pairs(graph, config.num_query_pairs, seed=config.seed)
+        row = Figure9Row(dataset=name)
+        for k in LANDMARK_SWEEP:
+            oracle = HighwayCoverOracle(num_landmarks=k).build(graph)
+            row.hl_coverage[k] = _coverage(oracle, pairs)
+        fd = FullyDynamicOracle(num_landmarks=config.num_landmarks).build(graph)
+        row.fd_coverage = _coverage(fd, pairs)
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Figure9Row]) -> str:
+    headers = ["Dataset"] + [f"HL-{k}" for k in LANDMARK_SWEEP] + ["FD-20"]
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        cells += [f"{row.hl_coverage[k]:.2f}" for k in LANDMARK_SWEEP]
+        cells.append(f"{row.fd_coverage:.2f}")
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    print(f"Figure 9: pair coverage ratios (scale={config.scale})")
+    print(render(run(config)))
+
+
+if __name__ == "__main__":
+    main()

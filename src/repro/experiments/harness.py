@@ -1,0 +1,154 @@
+"""Shared experiment machinery: method factories, measurement, DNF.
+
+The harness knows how to build any of the paper's methods by name, time
+its construction under a budget (rendering overruns as ``DNF``, exactly
+how Tables 2-3 report methods that did not finish), and time query
+batches over a shared random pair sample.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.fd import FullyDynamicOracle
+from repro.baselines.isl import ISLabelOracle
+from repro.baselines.online import BFSOracle, BiBFSOracle, DijkstraOracle
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.core.query import HighwayCoverOracle
+from repro.errors import ConstructionBudgetExceeded
+from repro.graphs.graph import Graph
+
+#: Sentinel string used in printed tables, mirroring the paper.
+DNF = "DNF"
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers.
+
+    ``scale`` multiplies every surrogate's vertex count;
+    ``REPRO_SCALE`` overrides the default so the benchmark suite can be
+    sized to the machine. Budgets are deliberately small: they exist to
+    reproduce the paper's DNF *pattern*, not to wait a day.
+    """
+
+    scale: float = float(os.environ.get("REPRO_SCALE", "0.25"))
+    num_landmarks: int = 20
+    num_query_pairs: int = int(os.environ.get("REPRO_QUERY_PAIRS", "400"))
+    num_online_pairs: int = 50  # Bi-BFS pairs (paper uses 1000 of 100k)
+    construction_budget_s: float = float(os.environ.get("REPRO_BUDGET_S", "20"))
+    seed: int = 42
+    datasets: Optional[List[str]] = None
+
+
+@dataclass
+class MethodMeasurement:
+    """One method on one dataset: the cells it contributes to Tables 2-3."""
+
+    method: str
+    dataset: str
+    construction_seconds: Optional[float]  # None = DNF
+    avg_query_ms: Optional[float]
+    average_label_size: Optional[float]
+    size_bytes: Optional[int]
+    als_display: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.construction_seconds is not None
+
+    def ct_cell(self) -> str:
+        return f"{self.construction_seconds:.2f}" if self.finished else DNF
+
+    def qt_cell(self) -> str:
+        if self.avg_query_ms is None:
+            return "-"
+        return f"{self.avg_query_ms:.3f}"
+
+    def als_cell(self) -> str:
+        if self.als_display:
+            return self.als_display
+        if self.average_label_size is None:
+            return "-"
+        return f"{self.average_label_size:.0f}"
+
+
+def make_method(name: str, config: ExperimentConfig) -> object:
+    """Instantiate a method by its paper name with the config's budgets."""
+    budget = config.construction_budget_s
+    factories: Dict[str, Callable[[], object]] = {
+        "HL": lambda: HighwayCoverOracle(
+            num_landmarks=config.num_landmarks, budget_s=budget
+        ),
+        "HL-P": lambda: HighwayCoverOracle(
+            num_landmarks=config.num_landmarks, parallel=True, budget_s=budget
+        ),
+        "HL(8)": lambda: HighwayCoverOracle(
+            num_landmarks=config.num_landmarks, codec="u8", budget_s=budget
+        ),
+        "FD": lambda: FullyDynamicOracle(
+            num_landmarks=config.num_landmarks, budget_s=budget
+        ),
+        "PLL": lambda: PrunedLandmarkLabelling(budget_s=budget),
+        "IS-L": lambda: ISLabelOracle(budget_s=budget),
+        "Bi-BFS": BiBFSOracle,
+        "BFS": BFSOracle,
+        "Dijkstra": DijkstraOracle,
+    }
+    try:
+        return factories[name]()
+    except KeyError as exc:
+        raise KeyError(f"unknown method {name!r}; options: {sorted(factories)}") from exc
+
+
+def measure_method(
+    name: str,
+    graph: Graph,
+    pairs: np.ndarray,
+    config: ExperimentConfig,
+    measure_queries: bool = True,
+) -> MethodMeasurement:
+    """Build + query one method on one dataset.
+
+    Construction overruns (:class:`ConstructionBudgetExceeded`) become a
+    DNF row; queries are then skipped, as in the paper's tables.
+    """
+    method = make_method(name, config)
+    start = time.perf_counter()
+    try:
+        method.build(graph)
+    except ConstructionBudgetExceeded:
+        return MethodMeasurement(
+            method=name,
+            dataset=graph.name,
+            construction_seconds=None,
+            avg_query_ms=None,
+            average_label_size=None,
+            size_bytes=None,
+        )
+    construction_seconds = time.perf_counter() - start
+
+    avg_query_ms = None
+    if measure_queries and len(pairs):
+        query = method.query
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            query(int(s), int(t))
+        avg_query_ms = (time.perf_counter() - t0) / len(pairs) * 1e3
+
+    als_display = method.als_display() if hasattr(method, "als_display") else ""
+    return MethodMeasurement(
+        method=name,
+        dataset=graph.name,
+        construction_seconds=construction_seconds,
+        avg_query_ms=avg_query_ms,
+        average_label_size=method.average_label_size(),
+        size_bytes=method.size_bytes(),
+        als_display=als_display,
+    )

@@ -1,0 +1,68 @@
+"""Run every experiment driver and write one consolidated report.
+
+``python -m repro.experiments.runall [output.md]`` regenerates Tables
+1-3 and Figures 1/6/7/8/9 at the current configuration and writes them
+into a single markdown report — the machine-generated companion to the
+hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments import figure1, figure6, figure7, figure8, figure9, table1, table2, table3
+from repro.experiments.harness import ExperimentConfig
+
+_SECTIONS = [
+    ("Table 1 — datasets", table1),
+    ("Table 2 — CT / QT / ALS", table2),
+    ("Table 3 — labelling sizes", table3),
+    ("Figure 1 — overview", figure1),
+    ("Figure 6 — distance distributions", figure6),
+    ("Figure 7 — landmarks sweep: CT & QT", figure7),
+    ("Figure 8 — landmarks sweep: label size", figure8),
+    ("Figure 9 — pair coverage", figure9),
+]
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None, output: Optional[Path] = None
+) -> str:
+    """Run every driver; returns (and optionally writes) the report text."""
+    config = config or ExperimentConfig()
+    lines = [
+        "# Regenerated evaluation report",
+        "",
+        f"configuration: scale={config.scale}, k={config.num_landmarks}, "
+        f"pairs={config.num_query_pairs}, budget={config.construction_budget_s}s",
+        "",
+    ]
+    for title, module in _SECTIONS:
+        start = time.perf_counter()
+        result = module.run(config)
+        elapsed = time.perf_counter() - start
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(module.render(result))
+        lines.append("```")
+        lines.append(f"_(regenerated in {elapsed:.1f}s)_")
+        lines.append("")
+    report = "\n".join(lines)
+    if output is not None:
+        output.write_text(report)
+    return report
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("evaluation_report.md")
+    report = run_all(output=output)
+    print(report)
+    print(f"\n[report written to {output}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Table 1 — dataset statistics for the twelve (surrogate) networks.
+
+Prints, for each surrogate, the same columns the paper reports: name,
+network type, n, m, m/n, average degree, max degree and ``|G|`` (8 bytes
+per edge direction). The paper's original magnitudes are shown alongside
+so EXPERIMENTS.md can record the scale substitution explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.harness import ExperimentConfig
+from repro.graphs.stats import GraphStats, compute_stats
+from repro.utils.formatting import format_table
+
+
+@dataclass
+class Table1Row:
+    stats: GraphStats
+    paper_vertices: str
+    paper_edges: str
+    paper_avg_degree: float
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Table1Row]:
+    """Generate every surrogate and compute its Table 1 row."""
+    config = config or ExperimentConfig()
+    names = config.datasets or list(DATASETS)
+    rows: List[Table1Row] = []
+    for name in names:
+        spec = DATASETS[name]
+        graph = load_dataset(name, scale=config.scale)
+        rows.append(
+            Table1Row(
+                stats=compute_stats(graph, network_type=spec.network_type),
+                paper_vertices=spec.paper_vertices,
+                paper_edges=spec.paper_edges,
+                paper_avg_degree=spec.paper_avg_degree,
+            )
+        )
+    return rows
+
+
+def render(rows: List[Table1Row]) -> str:
+    headers = [
+        "Dataset",
+        "Type",
+        "n",
+        "m",
+        "m/n",
+        "avg.deg",
+        "max.deg",
+        "|G|",
+        "paper n",
+        "paper m",
+    ]
+    body = []
+    for row in rows:
+        cells = row.stats.as_row()
+        body.append(cells[:1] + cells[1:] + [row.paper_vertices, row.paper_edges])
+    return format_table(headers, body)
+
+
+def main() -> None:
+    print("Table 1: datasets (synthetic surrogates; paper columns on the right)")
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

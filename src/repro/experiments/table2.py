@@ -1,0 +1,90 @@
+"""Table 2 — construction time, query time, and average label size.
+
+Reproduces the paper's headline comparison: CT for HL-P, HL, FD, PLL and
+IS-L; QT for HL, FD, PLL, IS-L and Bi-BFS; ALS for HL, FD, PLL and IS-L.
+Methods that exceed the construction budget print ``DNF``, which is how
+the paper reports PLL on 7/12 and IS-L on 9/12 datasets.
+
+Expected shape (paper): ``CT(HL-P) < CT(HL) < CT(FD) << CT(PLL/IS-L)``;
+``QT(HL) ~ QT(FD) << QT(Bi-BFS)``; ``ALS(HL)`` around 10-20 entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.harness import (
+    DNF,
+    ExperimentConfig,
+    MethodMeasurement,
+    measure_method,
+)
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.utils.formatting import format_table
+
+CT_METHODS = ["HL-P", "HL", "FD", "PLL", "IS-L"]
+QT_METHODS = ["HL", "FD", "PLL", "IS-L", "Bi-BFS"]
+ALS_METHODS = ["HL", "FD", "PLL", "IS-L"]
+
+
+@dataclass
+class Table2Row:
+    dataset: str
+    measurements: Dict[str, MethodMeasurement] = field(default_factory=dict)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Table2Row]:
+    """Measure every method on every surrogate (respecting budgets)."""
+    config = config or ExperimentConfig()
+    names = config.datasets or list(DATASETS)
+    rows: List[Table2Row] = []
+    for name in names:
+        graph = load_dataset(name, scale=config.scale)
+        pairs = sample_vertex_pairs(graph, config.num_query_pairs, seed=config.seed)
+        online_pairs = pairs[: config.num_online_pairs]
+        row = Table2Row(dataset=name)
+        for method in ["HL-P", "HL", "FD", "PLL", "IS-L", "Bi-BFS"]:
+            method_pairs = online_pairs if method == "Bi-BFS" else pairs
+            row.measurements[method] = measure_method(
+                method, graph, method_pairs, config
+            )
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Table2Row]) -> str:
+    headers = (
+        ["Dataset"]
+        + [f"CT[s] {m}" for m in CT_METHODS]
+        + [f"QT[ms] {m}" for m in QT_METHODS]
+        + [f"ALS {m}" for m in ALS_METHODS]
+    )
+    body = []
+    for row in rows:
+        cells: List[str] = [row.dataset]
+        for m in CT_METHODS:
+            cells.append(row.measurements[m].ct_cell())
+        for m in QT_METHODS:
+            meas = row.measurements[m]
+            cells.append(meas.qt_cell() if meas.finished else "-")
+        for m in ALS_METHODS:
+            meas = row.measurements[m]
+            cells.append(meas.als_cell() if meas.finished else "-")
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    print(
+        "Table 2: construction time (CT), query time (QT), avg label size "
+        f"(ALS); k={config.num_landmarks} landmarks, scale={config.scale}, "
+        f"budget={config.construction_budget_s}s ({DNF} = exceeded)"
+    )
+    print(render(run(config)))
+
+
+if __name__ == "__main__":
+    main()

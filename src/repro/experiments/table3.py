@@ -1,0 +1,75 @@
+"""Table 3 — labelling sizes: HL(8), HL, FD, PLL, IS-L.
+
+Byte accounting follows Section 5.2: HL entries are 32+8 bit, HL(8)
+entries 8+8 bit, FD stores k SPT entries per vertex plus BP words, PLL
+32+8-bit entries plus BP words, IS-L 8-byte weighted entries.
+
+Expected shape (paper): size(HL(8)) < size(HL) < size(FD) << size(PLL),
+with PLL/IS-L DNF on the larger datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.registry import DATASETS, load_dataset
+from repro.experiments.harness import (
+    DNF,
+    ExperimentConfig,
+    MethodMeasurement,
+    measure_method,
+)
+from repro.utils.formatting import format_bytes, format_table
+
+SIZE_METHODS = ["HL(8)", "HL", "FD", "PLL", "IS-L"]
+
+
+@dataclass
+class Table3Row:
+    dataset: str
+    measurements: Dict[str, MethodMeasurement] = field(default_factory=dict)
+
+
+def run(config: Optional[ExperimentConfig] = None) -> List[Table3Row]:
+    """Build every method per dataset and record index sizes (no queries)."""
+    config = config or ExperimentConfig()
+    names = config.datasets or list(DATASETS)
+    rows: List[Table3Row] = []
+    empty_pairs = np.empty((0, 2), dtype=np.int64)
+    for name in names:
+        graph = load_dataset(name, scale=config.scale)
+        row = Table3Row(dataset=name)
+        for method in SIZE_METHODS:
+            row.measurements[method] = measure_method(
+                method, graph, empty_pairs, config, measure_queries=False
+            )
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Table3Row]) -> str:
+    headers = ["Dataset"] + SIZE_METHODS
+    body = []
+    for row in rows:
+        cells = [row.dataset]
+        for method in SIZE_METHODS:
+            meas = row.measurements[method]
+            cells.append(format_bytes(meas.size_bytes) if meas.finished else DNF)
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    print(
+        f"Table 3: labelling sizes; k={config.num_landmarks} landmarks, "
+        f"scale={config.scale}, budget={config.construction_budget_s}s"
+    )
+    print(render(run(config)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Graph substrate: immutable CSR graphs, generators, IO and statistics."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.csr import CSRAdjacency, build_csr
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    copying_model_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    powerlaw_configuration_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.connectivity import connected_components, largest_connected_component
+from repro.graphs.stats import GraphStats, compute_stats
+from repro.graphs.sampling import distance_distribution, sample_vertex_pairs
+from repro.graphs import analysis, io
+
+__all__ = [
+    "Graph",
+    "CSRAdjacency",
+    "build_csr",
+    "barabasi_albert_graph",
+    "copying_model_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "path_graph",
+    "powerlaw_configuration_graph",
+    "star_graph",
+    "watts_strogatz_graph",
+    "connected_components",
+    "largest_connected_component",
+    "GraphStats",
+    "compute_stats",
+    "sample_vertex_pairs",
+    "distance_distribution",
+    "analysis",
+    "io",
+]

@@ -1,0 +1,141 @@
+"""Compressed sparse row (CSR) adjacency for unweighted graphs.
+
+Every traversal in this library runs over one of these: two numpy arrays,
+``indptr`` (length ``n + 1``) and ``indices`` (length ``2m`` for an
+undirected graph, since each edge is stored in both directions — the same
+accounting the paper uses for ``|G|`` in Table 1).
+
+The module also provides :func:`frontier_neighbors`, the vectorized gather
+used by every level-synchronous BFS in the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """Immutable CSR adjacency structure.
+
+    Attributes:
+        indptr: ``int64`` array of length ``n + 1``; the neighbours of
+            vertex ``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
+        indices: ``int32`` array of neighbour ids, sorted within each row.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    def degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+
+def build_csr(n: int, edges: Iterable[Tuple[int, int]]) -> CSRAdjacency:
+    """Build an undirected, deduplicated CSR adjacency from an edge list.
+
+    Self-loops and duplicate/reversed duplicates are dropped, matching the
+    paper's treatment of all datasets as simple undirected graphs.
+
+    Args:
+        n: number of vertices; edge endpoints must lie in ``[0, n)``.
+        edges: iterable of ``(u, v)`` pairs.
+
+    Raises:
+        GraphError: if ``n`` is negative or an endpoint is out of range.
+    """
+    if n < 0:
+        raise GraphError(f"vertex count must be non-negative, got {n}")
+    edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if edge_array.size == 0:
+        edge_array = np.empty((0, 2), dtype=np.int64)
+    if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+        raise GraphError("edge list must be a sequence of (u, v) pairs")
+    edge_array = edge_array.astype(np.int64, copy=False)
+    if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= n):
+        raise GraphError("edge endpoint out of range")
+
+    # Drop self loops, canonicalize to u < v, and deduplicate.
+    u, v = edge_array[:, 0], edge_array[:, 1]
+    keep = u != v
+    u, v = u[keep], v[keep]
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    if lo.size:
+        keys = lo * n + hi
+        _, unique_idx = np.unique(keys, return_index=True)
+        lo, hi = lo[unique_idx], hi[unique_idx]
+
+    heads = np.concatenate([lo, hi])
+    tails = np.concatenate([hi, lo])
+    order = np.lexsort((tails, heads))
+    heads, tails = heads[order], tails[order]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, heads + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRAdjacency(indptr=indptr, indices=tails.astype(np.int32))
+
+
+def frontier_neighbors(csr: CSRAdjacency, frontier: np.ndarray) -> np.ndarray:
+    """Gather the concatenated neighbour lists of all frontier vertices.
+
+    This is the vectorized core of every BFS here: for a frontier
+    ``f_1..f_k`` it returns ``indices[indptr[f_1]:indptr[f_1+1]] ++ ...``
+    without a Python-level loop, using the repeat/cumsum trick.
+    """
+    starts = csr.indptr[frontier]
+    ends = csr.indptr[frontier + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=csr.indices.dtype)
+    # For frontier member j, its slots in the output are
+    # [c_{j-1}, c_j) where c is the cumulative count; the gather index for
+    # global position p in that range is starts[j] + (p - c_{j-1}).
+    cumulative = np.cumsum(counts)
+    gather = np.repeat(ends - cumulative, counts) + np.arange(total, dtype=np.int64)
+    return csr.indices[gather]
+
+
+def induced_subgraph_csr(
+    csr: CSRAdjacency, keep: np.ndarray
+) -> Tuple[CSRAdjacency, np.ndarray]:
+    """Build the CSR of the induced subgraph on ``keep`` (boolean mask).
+
+    Returns the new CSR and an ``old_id`` array mapping new ids to old ids.
+    Used by tests and by IS-L's hierarchy construction.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != (csr.num_vertices,):
+        raise GraphError("keep mask must have one entry per vertex")
+    old_ids = np.flatnonzero(keep)
+    new_id = np.full(csr.num_vertices, -1, dtype=np.int64)
+    new_id[old_ids] = np.arange(len(old_ids))
+
+    heads_old = np.repeat(np.arange(csr.num_vertices), np.diff(csr.indptr))
+    tails_old = csr.indices
+    edge_keep = keep[heads_old] & keep[tails_old]
+    heads = new_id[heads_old[edge_keep]]
+    tails = new_id[tails_old[edge_keep]]
+    mask = heads < tails  # each undirected edge appears once in this form
+    sub = build_csr(len(old_ids), np.stack([heads[mask], tails[mask]], axis=1))
+    return sub, old_ids

@@ -1,0 +1,163 @@
+"""The :class:`Graph` façade: an immutable, unweighted, undirected graph.
+
+This is the object every public API in the library accepts. It wraps a
+:class:`~repro.graphs.csr.CSRAdjacency` and adds validation, convenience
+accessors and the byte accounting used for ``|G|`` in Table 1 of the paper
+(8 bytes per directed edge, i.e. each undirected edge counted twice).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, VertexError
+from repro.graphs.csr import CSRAdjacency, build_csr, induced_subgraph_csr
+
+_BYTES_PER_DIRECTED_EDGE = 8
+
+
+class Graph:
+    """An immutable, simple, undirected, unweighted graph.
+
+    Vertices are the integers ``0 .. n-1``. Parallel edges and self loops
+    are removed at construction, matching the paper's preprocessing of all
+    twelve datasets ("we treated them as undirected and unweighted").
+
+    Args:
+        num_vertices: number of vertices ``n``.
+        edges: iterable of ``(u, v)`` pairs with ``0 <= u, v < n``.
+        name: optional dataset name carried through to reports.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "graph",
+    ) -> None:
+        self._csr = build_csr(num_vertices, edges)
+        self.name = name
+
+    # -- Alternative constructors ------------------------------------------
+
+    @classmethod
+    def from_csr(cls, csr: CSRAdjacency, name: str = "graph") -> "Graph":
+        """Wrap an existing CSR adjacency without copying."""
+        graph = cls.__new__(cls)
+        graph._csr = csr
+        graph.name = name
+        return graph
+
+    @classmethod
+    def from_edge_array(
+        cls, num_vertices: int, edge_array: np.ndarray, name: str = "graph"
+    ) -> "Graph":
+        """Build from an ``(m, 2)`` numpy array of endpoints."""
+        graph = cls.__new__(cls)
+        graph._csr = build_csr(num_vertices, edge_array)
+        graph.name = name
+        return graph
+
+    # -- Basic properties ---------------------------------------------------
+
+    @property
+    def csr(self) -> CSRAdjacency:
+        return self._csr
+
+    @property
+    def num_vertices(self) -> int:
+        """``n`` — the number of vertices."""
+        return self._csr.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """``m`` — the number of undirected edges."""
+        return self._csr.num_directed_edges // 2
+
+    @property
+    def size_bytes(self) -> int:
+        """``|G|`` per Table 1: 8 bytes per edge direction (forward+reverse)."""
+        return self._csr.num_directed_edges * _BYTES_PER_DIRECTED_EDGE
+
+    def degree(self, v: int) -> int:
+        self.validate_vertex(v)
+        return self._csr.degree(v)
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex as an int64 array."""
+        return self._csr.degrees()
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of ``v`` (a read-only view)."""
+        self.validate_vertex(v)
+        return self._csr.neighbors(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self.validate_vertex(u)
+        self.validate_vertex(v)
+        row = self._csr.neighbors(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < len(row) and int(row[pos]) == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_vertices):
+            for v in self._csr.neighbors(u):
+                if u < int(v):
+                    yield u, int(v)
+
+    def validate_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise VertexError(v, self.num_vertices)
+
+    # -- Derived graphs -------------------------------------------------------
+
+    def induced_subgraph(self, keep: Sequence[int]) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph on the given vertices.
+
+        Returns the subgraph (with vertices renumbered ``0..k-1``) and the
+        array mapping new ids back to the original ids.
+        """
+        mask = np.zeros(self.num_vertices, dtype=bool)
+        keep_arr = np.asarray(list(keep), dtype=np.int64)
+        if keep_arr.size and (keep_arr.min() < 0 or keep_arr.max() >= self.num_vertices):
+            raise GraphError("induced subgraph vertex out of range")
+        mask[keep_arr] = True
+        sub_csr, old_ids = induced_subgraph_csr(self._csr, mask)
+        return Graph.from_csr(sub_csr, name=f"{self.name}[induced]"), old_ids
+
+    def with_edges_added(
+        self, new_edges: Iterable[Tuple[int, int]], name: Optional[str] = None
+    ) -> "Graph":
+        """A new graph with extra edges (graphs are immutable).
+
+        Used by the dynamic-update extension and by tests.
+        """
+        heads = np.repeat(np.arange(self.num_vertices), np.diff(self._csr.indptr))
+        existing = np.stack([heads, self._csr.indices], axis=1)
+        extra = np.asarray(list(new_edges), dtype=np.int64).reshape(-1, 2)
+        combined = np.concatenate([existing, extra], axis=0)
+        return Graph.from_edge_array(
+            self.num_vertices, combined, name=name or self.name
+        )
+
+    # -- Dunder helpers -------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(name={self.name!r}, n={self.num_vertices}, m={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and np.array_equal(self._csr.indptr, other._csr.indptr)
+            and np.array_equal(self._csr.indices, other._csr.indices)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.num_edges, self.name))

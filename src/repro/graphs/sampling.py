@@ -1,0 +1,63 @@
+"""Random vertex-pair sampling and distance distributions (Figure 6).
+
+The paper samples 100,000 random vertex pairs per dataset and plots the
+fraction of pairs at each distance. These helpers implement both the
+sampler and the histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def sample_vertex_pairs(
+    graph: Graph, num_pairs: int, seed: int = 0, distinct: bool = True
+) -> np.ndarray:
+    """Sample ``num_pairs`` uniform random vertex pairs as an (k, 2) array.
+
+    Pairs are drawn from ``V x V`` exactly as in the paper's Section 6.1;
+    ``distinct=True`` redraws the (vanishingly rare) ``s == t`` pairs so
+    that query benchmarks never measure the trivial case.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise GraphError("need at least two vertices to sample pairs")
+    if num_pairs < 0:
+        raise GraphError("num_pairs must be non-negative")
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, n, size=(num_pairs, 2), dtype=np.int64)
+    if distinct:
+        same = pairs[:, 0] == pairs[:, 1]
+        while same.any():
+            pairs[same, 1] = rng.integers(0, n, size=int(same.sum()))
+            same = pairs[:, 0] == pairs[:, 1]
+    return pairs
+
+
+def distance_distribution(
+    pairs: np.ndarray, distance_fn: Callable[[int, int], float]
+) -> Dict[int, float]:
+    """Fraction of pairs at each finite distance (Figure 6's y-axis).
+
+    Args:
+        pairs: ``(k, 2)`` array of vertex pairs.
+        distance_fn: exact distance oracle, e.g. ``oracle.query``.
+
+    Returns:
+        Mapping ``distance -> fraction of sampled pairs``; unreachable
+        pairs are accumulated under the key ``-1``.
+    """
+    if len(pairs) == 0:
+        return {}
+    counts: Dict[int, int] = {}
+    for s, t in pairs:
+        d = distance_fn(int(s), int(t))
+        key = -1 if d == float("inf") else int(d)
+        counts[key] = counts.get(key, 0) + 1
+    total = len(pairs)
+    return {dist: c / total for dist, c in sorted(counts.items())}

@@ -1,0 +1,9 @@
+"""Landmark selection strategies (paper setup + its stated future work)."""
+
+from repro.landmarks.selection import (
+    STRATEGIES,
+    select_landmarks,
+    top_degree_landmarks,
+)
+
+__all__ = ["STRATEGIES", "select_landmarks", "top_degree_landmarks"]

@@ -1,0 +1,141 @@
+"""Landmark selection strategies.
+
+The paper selects the top-``k`` vertices by degree (Section 6.3) — the
+standard choice for complex networks, where high-degree hubs lie on many
+shortest paths. Landmark selection beyond degree is the paper's stated
+future work, so this module also ships the usual contenders, exercised by
+the ablation benchmark and the landmark-selection example:
+
+* ``degree`` — top-k by degree (the paper's choice; deterministic,
+  ties broken by vertex id).
+* ``random`` — uniform sample (lower bound on quality).
+* ``closeness`` — greedy approximate closeness: sample sources, keep the
+  vertices with the smallest average distance.
+* ``betweenness`` — approximate betweenness via sampled BFS shortest-path
+  counting.
+* ``degree_spread`` — top-degree but skipping vertices adjacent to an
+  already chosen landmark, spreading hubs across the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import LandmarkError
+from repro.graphs.graph import Graph
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+def top_degree_landmarks(graph: Graph, k: int) -> List[int]:
+    """Top-``k`` vertex ids by decreasing degree (ties: smaller id first)."""
+    degrees = graph.degrees()
+    # argsort on (-degree, id): stable sort over id-ordered input.
+    order = np.argsort(-degrees, kind="stable")
+    return [int(v) for v in order[:k]]
+
+
+def _random_landmarks(graph: Graph, k: int, seed: int = 0) -> List[int]:
+    rng = np.random.default_rng(seed)
+    return [int(v) for v in rng.choice(graph.num_vertices, size=k, replace=False)]
+
+
+def _degree_spread_landmarks(graph: Graph, k: int, seed: int = 0) -> List[int]:
+    degrees = graph.degrees()
+    order = np.argsort(-degrees, kind="stable")
+    chosen: List[int] = []
+    blocked = np.zeros(graph.num_vertices, dtype=bool)
+    for v in order:
+        v = int(v)
+        if blocked[v]:
+            continue
+        chosen.append(v)
+        blocked[v] = True
+        blocked[graph.neighbors(v)] = True
+        if len(chosen) == k:
+            return chosen
+    # Fall back to plain degree order if the graph is too dense to spread.
+    for v in order:
+        v = int(v)
+        if v not in chosen:
+            chosen.append(v)
+            if len(chosen) == k:
+                break
+    return chosen
+
+
+def _closeness_landmarks(graph: Graph, k: int, seed: int = 0, samples: int = 16) -> List[int]:
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    sources = rng.choice(n, size=min(samples, n), replace=False)
+    total = np.zeros(n, dtype=np.float64)
+    for s in sources:
+        dist = bfs_distances(graph, int(s)).astype(np.float64)
+        dist[dist == UNREACHED] = n  # penalize unreachable
+        total += dist
+    order = np.argsort(total, kind="stable")
+    return [int(v) for v in order[:k]]
+
+
+def _betweenness_landmarks(graph: Graph, k: int, seed: int = 0, samples: int = 16) -> List[int]:
+    """Approximate betweenness: count shortest-path DAG memberships."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    sources = rng.choice(n, size=min(samples, n), replace=False)
+    score = np.zeros(n, dtype=np.float64)
+    for s in sources:
+        dist = bfs_distances(graph, int(s))
+        # Count, for each vertex, how many sampled BFS trees place it as an
+        # internal vertex of some shortest path: proxy = #children on
+        # shortest-path DAG edges.
+        heads = np.repeat(np.arange(n), np.diff(graph.csr.indptr))
+        tails = graph.csr.indices
+        on_dag = (
+            (dist[heads] != UNREACHED)
+            & (dist[tails] != UNREACHED)
+            & (dist[tails] == dist[heads] + 1)
+        )
+        np.add.at(score, heads[on_dag], 1.0)
+    order = np.argsort(-score, kind="stable")
+    return [int(v) for v in order[:k]]
+
+
+STRATEGIES: Dict[str, Callable[..., List[int]]] = {
+    "degree": top_degree_landmarks,
+    "random": _random_landmarks,
+    "degree_spread": _degree_spread_landmarks,
+    "closeness": _closeness_landmarks,
+    "betweenness": _betweenness_landmarks,
+}
+
+
+def select_landmarks(
+    graph: Graph, k: int, strategy: str = "degree", seed: int = 0
+) -> List[int]:
+    """Pick ``k`` landmark vertex ids with the named strategy.
+
+    Args:
+        graph: input graph.
+        k: number of landmarks; must satisfy ``1 <= k <= n``.
+        strategy: one of :data:`STRATEGIES`.
+        seed: RNG seed for the randomized strategies.
+
+    Raises:
+        LandmarkError: on invalid ``k`` or unknown strategy.
+    """
+    if k < 1:
+        raise LandmarkError(f"need at least one landmark, got k={k}")
+    if k > graph.num_vertices:
+        raise LandmarkError(
+            f"k={k} exceeds the number of vertices ({graph.num_vertices})"
+        )
+    try:
+        picker = STRATEGIES[strategy]
+    except KeyError as exc:
+        raise LandmarkError(
+            f"unknown strategy {strategy!r}; options: {sorted(STRATEGIES)}"
+        ) from exc
+    if strategy == "degree":
+        return picker(graph, k)
+    return picker(graph, k, seed=seed)

@@ -1,0 +1,16 @@
+"""Online traversal engines: BFS, Dijkstra, bidirectional and bounded search."""
+
+from repro.search.bfs import bfs_distances, bfs_distance, bfs_levels
+from repro.search.dijkstra import dijkstra_distances, dijkstra_distance
+from repro.search.bidirectional import bidirectional_bfs_distance
+from repro.search.bounded import bounded_bidirectional_distance
+
+__all__ = [
+    "bfs_distances",
+    "bfs_distance",
+    "bfs_levels",
+    "dijkstra_distances",
+    "dijkstra_distance",
+    "bidirectional_bfs_distance",
+    "bounded_bidirectional_distance",
+]

@@ -1,0 +1,134 @@
+"""Level-synchronous breadth-first search over CSR graphs.
+
+:func:`bfs_distances` is the workhorse (and the correctness oracle in the
+test suite): it computes single-source distances with vectorized frontier
+expansion, the pure-Python stand-in for the paper's C++ BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.csr import frontier_neighbors
+from repro.graphs.graph import Graph
+
+UNREACHED = np.iinfo(np.int32).max
+
+
+def bfs_distances(
+    graph: Graph, source: int, excluded: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Distances from ``source`` to every vertex.
+
+    Args:
+        graph: the graph to traverse.
+        source: start vertex.
+        excluded: optional boolean mask of vertices to treat as deleted
+            (the virtual sparsified graph ``G[V \\ R]``); the source must
+            not be excluded.
+
+    Returns:
+        int32 array with ``UNREACHED`` for unreachable vertices.
+    """
+    graph.validate_vertex(source)
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbors = frontier_neighbors(graph.csr, frontier)
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if excluded is not None and fresh.size:
+            fresh = fresh[~excluded[fresh]]
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+    return dist
+
+
+def bfs_distance(graph: Graph, source: int, target: int) -> float:
+    """Exact distance between two vertices; ``inf`` if disconnected.
+
+    Early-exits as soon as the target's level is fixed.
+    """
+    graph.validate_vertex(source)
+    graph.validate_vertex(target)
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbors = frontier_neighbors(graph.csr, frontier)
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        if dist[target] != UNREACHED:
+            return float(level)
+        frontier = np.unique(fresh).astype(np.int64)
+    return float("inf")
+
+
+def bfs_levels(
+    graph: Graph, source: int, excluded: Optional[np.ndarray] = None
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Yield ``(level, vertices)`` frontiers of a BFS, level by level.
+
+    Level 0 is ``[source]``. Useful for algorithms that need per-level
+    processing (e.g. eccentricity estimation in the examples).
+    """
+    graph.validate_vertex(source)
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    yield level, frontier
+    while frontier.size:
+        level += 1
+        neighbors = frontier_neighbors(graph.csr, frontier)
+        fresh = neighbors[~visited[neighbors]]
+        if excluded is not None and fresh.size:
+            fresh = fresh[~excluded[fresh]]
+        if fresh.size == 0:
+            return
+        frontier = np.unique(fresh).astype(np.int64)
+        visited[frontier] = True
+        yield level, frontier
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Largest finite distance from ``source`` (graph eccentricity)."""
+    dist = bfs_distances(graph, source)
+    finite = dist[dist != UNREACHED]
+    return int(finite.max()) if finite.size else 0
+
+
+def multi_source_bfs_distances(graph: Graph, sources: List[int]) -> np.ndarray:
+    """Distance from the *nearest* of several sources to every vertex."""
+    n = graph.num_vertices
+    dist = np.full(n, UNREACHED, dtype=np.int32)
+    src = np.unique(np.asarray(sources, dtype=np.int64))
+    for s in src:
+        graph.validate_vertex(int(s))
+    dist[src] = 0
+    frontier = src
+    level = 0
+    while frontier.size:
+        level += 1
+        neighbors = frontier_neighbors(graph.csr, frontier)
+        fresh = neighbors[dist[neighbors] == UNREACHED]
+        if fresh.size == 0:
+            break
+        dist[fresh] = level
+        frontier = np.unique(fresh).astype(np.int64)
+    return dist

@@ -1,0 +1,75 @@
+"""Bidirectional BFS — the paper's ``Bi-BFS`` online baseline (Pohl 1971).
+
+Expands the smaller frontier first and stops at the first meeting vertex,
+which on small-world networks visits orders of magnitude fewer vertices
+than a unidirectional BFS. Table 2 reports this method's query times to
+show that online search alone is not competitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.csr import frontier_neighbors
+from repro.graphs.graph import Graph
+
+
+def bidirectional_bfs_distance(
+    graph: Graph,
+    source: int,
+    target: int,
+    excluded: Optional[np.ndarray] = None,
+) -> float:
+    """Exact distance via two alternating BFS waves.
+
+    Args:
+        graph: graph to search.
+        source, target: endpoints.
+        excluded: optional boolean mask of vertices to skip (must not
+            cover the endpoints).
+
+    Returns:
+        The exact distance, or ``inf`` if the endpoints are disconnected.
+    """
+    graph.validate_vertex(source)
+    graph.validate_vertex(target)
+    if source == target:
+        return 0.0
+    n = graph.num_vertices
+    # side[v]: 0 unvisited, 1 forward, 2 reverse.
+    side = np.zeros(n, dtype=np.int8)
+    side[source], side[target] = 1, 2
+    forward = np.asarray([source], dtype=np.int64)
+    reverse = np.asarray([target], dtype=np.int64)
+    depth_f = depth_r = 0
+    while forward.size and reverse.size:
+        if forward.size <= reverse.size:
+            forward, met = _expand(graph, forward, side, own=1, other=2, excluded=excluded)
+            depth_f += 1
+        else:
+            reverse, met = _expand(graph, reverse, side, own=2, other=1, excluded=excluded)
+            depth_r += 1
+        if met:
+            return float(depth_f + depth_r)
+    return float("inf")
+
+
+def _expand(graph, frontier, side, own, other, excluded):
+    """Advance one frontier; returns (new_frontier, met_other_side)."""
+    neighbors = frontier_neighbors(graph.csr, frontier)
+    if neighbors.size == 0:
+        return np.empty(0, dtype=np.int64), False
+    if excluded is not None:
+        neighbors = neighbors[~excluded[neighbors]]
+        if neighbors.size == 0:
+            return np.empty(0, dtype=np.int64), False
+    if (side[neighbors] == other).any():
+        return frontier, True
+    fresh = neighbors[side[neighbors] == 0]
+    if fresh.size == 0:
+        return np.empty(0, dtype=np.int64), False
+    new_frontier = np.unique(fresh).astype(np.int64)
+    side[new_frontier] = own
+    return new_frontier, False

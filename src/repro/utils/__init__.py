@@ -1,0 +1,12 @@
+"""Small shared utilities: timing, RNG handling, table formatting."""
+
+from repro.utils.timing import Stopwatch, TimeBudget
+from repro.utils.formatting import format_bytes, format_seconds, format_table
+
+__all__ = [
+    "Stopwatch",
+    "TimeBudget",
+    "format_bytes",
+    "format_seconds",
+    "format_table",
+]

@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment outputs (tables and units).
+
+The benchmark drivers print the same rows the paper's tables report, so
+everything here is deliberately ASCII-only and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count the way the paper does (MB / GB).
+
+    >>> format_bytes(102 * 1024 * 1024)
+    '102.0MB'
+    """
+    if num_bytes < 0:
+        raise ValueError("byte count cannot be negative")
+    for unit, factor in (("GB", 1024**3), ("MB", 1024**2), ("KB", 1024)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.1f}{unit}"
+    return f"{num_bytes:.0f}B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (µs/ms/s)."""
+    if seconds < 0:
+        raise ValueError("duration cannot be negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 22], [333, 4]]))
+    a    b
+    ---  --
+    1    22
+    333  4
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Timing helpers used by constructions and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import ConstructionBudgetExceeded
+
+
+class Stopwatch:
+    """Wall-clock stopwatch with lap support.
+
+    >>> sw = Stopwatch().start()
+    >>> _ = sw.stop()
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch was not started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class TimeBudget:
+    """A soft construction budget checked at safe points.
+
+    ``None`` or non-positive seconds mean "unlimited". Constructions call
+    :meth:`check` between units of work (e.g. after each pruned BFS); when
+    the budget is exhausted a :class:`ConstructionBudgetExceeded` is raised,
+    which the experiment harness renders as ``DNF``.
+    """
+
+    def __init__(self, seconds: Optional[float], method: str = "construction") -> None:
+        self.seconds = None if seconds is None or seconds <= 0 else float(seconds)
+        self.method = method
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def exhausted(self) -> bool:
+        return self.seconds is not None and self.elapsed > self.seconds
+
+    def check(self) -> None:
+        if self.exhausted:
+            assert self.seconds is not None
+            raise ConstructionBudgetExceeded(self.method, self.seconds)

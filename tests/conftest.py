@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.example_graph import paper_example_graph
+from repro.graphs.connectivity import largest_connected_component
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def ba_graph() -> Graph:
+    """A 300-vertex scale-free graph (connected by construction)."""
+    return barabasi_albert_graph(300, 3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ws_graph() -> Graph:
+    """A 200-vertex small-world graph (largest component)."""
+    graph, _ = largest_connected_component(watts_strogatz_graph(200, 4, 0.1, seed=12))
+    return graph
+
+
+@pytest.fixture(scope="session")
+def er_graph() -> Graph:
+    """A sparse random graph (largest component; has longer distances)."""
+    graph, _ = largest_connected_component(erdos_renyi_graph(250, 3.0, seed=13))
+    return graph
+
+
+@pytest.fixture(scope="session")
+def example_graph() -> Graph:
+    """The paper's 14-vertex running example (Figures 2-5)."""
+    return paper_example_graph()
+
+
+@pytest.fixture(scope="session")
+def tiny_graphs() -> list:
+    """A basket of deterministic corner-case topologies."""
+    return [
+        path_graph(2),
+        path_graph(7),
+        star_graph(6),
+        grid_graph(4, 5),
+        Graph(1, [], name="singleton"),
+        Graph(5, [(0, 1), (2, 3)], name="disconnected"),
+        Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="cycle4"),
+    ]

@@ -1,0 +1,100 @@
+"""Tests for the structural analysis helpers."""
+
+import pytest
+
+from repro.graphs.analysis import (
+    approximate_diameter,
+    average_clustering_coefficient,
+    degree_histogram,
+    power_law_tail_ratio,
+    small_world_report,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(star_graph(6))
+        assert hist == {1: 5, 5: 1}
+
+    def test_empty(self):
+        assert degree_histogram(Graph(0, [])) == {}
+
+    def test_counts_sum_to_n(self, ba_graph):
+        hist = degree_histogram(ba_graph)
+        assert sum(hist.values()) == ba_graph.num_vertices
+
+
+class TestTailRatio:
+    def test_scale_free_is_skewed(self):
+        g = barabasi_albert_graph(1000, 3, seed=1)
+        assert power_law_tail_ratio(g) > 5.0
+
+    def test_lattice_is_flat(self):
+        g = watts_strogatz_graph(200, 4, 0.0, seed=1)
+        assert power_law_tail_ratio(g) == pytest.approx(1.0)
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        assert approximate_diameter(path_graph(30)) == 29
+
+    def test_grid_lower_bound(self):
+        # True diameter of a 5x7 grid is 4 + 6 = 10.
+        approx = approximate_diameter(grid_graph(5, 7))
+        assert 5 <= approx <= 10
+
+    def test_small_world_is_compact(self):
+        g = barabasi_albert_graph(2000, 4, seed=2)
+        assert approximate_diameter(g) <= 10
+
+    def test_empty(self):
+        assert approximate_diameter(Graph(0, [])) == 0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert average_clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        assert average_clustering_coefficient(star_graph(10)) == 0.0
+
+    def test_range(self, ba_graph):
+        c = average_clustering_coefficient(ba_graph)
+        assert 0.0 <= c <= 1.0
+
+
+class TestSmallWorldReport:
+    def test_scale_free_network_flagged(self):
+        g = barabasi_albert_graph(2000, 4, seed=3)
+        report = small_world_report(g)
+        assert report.looks_small_world
+        assert report.num_vertices == 2000
+
+    def test_grid_not_flagged(self):
+        report = small_world_report(grid_graph(30, 30))
+        assert not report.looks_small_world
+
+    def test_surrogates_are_small_world(self):
+        """Table 1 surrogates sit in HL's intended regime.
+
+        At the tiny test scale the densest surrogate (Hollywood, average
+        degree ~50 at 130 vertices) is closer to a clique than to a
+        scale-free graph, so we require 11 of 12 rather than all.
+        """
+        from repro.datasets.registry import load_all_datasets
+
+        flagged = sum(
+            1
+            for _, graph in load_all_datasets(scale=0.05)
+            if small_world_report(graph).looks_small_world
+        )
+        assert flagged >= 11

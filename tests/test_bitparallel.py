@@ -1,0 +1,91 @@
+"""Tests for bit-parallel BFS labels (S⁻¹/S⁰ mask semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitparallel import build_bit_parallel_labels
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+class TestMaskSemantics:
+    def _masks_match_definitions(self, graph, root, max_tracked=64):
+        bp = build_bit_parallel_labels(graph, [root], max_tracked=max_tracked)
+        dist_r = bfs_distances(graph, root)
+        tracked = list(graph.neighbors(root)[:max_tracked])
+        dists_c = {c: bfs_distances(graph, int(c)) for c in tracked}
+        s_minus, s_zero = bp.minus_masks[0], bp.zero_masks[0]
+        for v in range(graph.num_vertices):
+            if dist_r[v] == UNREACHED:
+                continue
+            for bit, c in enumerate(tracked):
+                dcv = int(dists_c[c][v])
+                in_minus = bool(s_minus[v] & np.uint64(1 << bit))
+                in_zero = bool(s_zero[v] & np.uint64(1 << bit))
+                assert in_minus == (dcv == dist_r[v] - 1), (v, int(c))
+                assert in_zero == (dcv == dist_r[v]), (v, int(c))
+
+    def test_masks_on_scale_free(self, ba_graph):
+        self._masks_match_definitions(ba_graph, root=0)
+
+    def test_masks_on_grid(self):
+        self._masks_match_definitions(grid_graph(5, 5), root=12)
+
+    def test_masks_on_star(self):
+        self._masks_match_definitions(star_graph(10), root=0, max_tracked=8)
+
+    def test_masks_on_path(self):
+        self._masks_match_definitions(path_graph(9), root=4)
+
+
+class TestBPQuery:
+    def test_refined_bound_admissible_and_tight_through_root(self, ba_graph):
+        """BP query >= true distance; equality when a shortest path passes
+        through the root or a tracked neighbour."""
+        root = 0
+        bp = build_bit_parallel_labels(ba_graph, [root])
+        dist_r = bfs_distances(ba_graph, root)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            s, t = rng.integers(0, ba_graph.num_vertices, size=2)
+            s, t = int(s), int(t)
+            truth = bfs_distances(ba_graph, s)[t]
+            estimate = bp.query(s, t)
+            assert estimate >= truth
+            # Always at least as tight as the unrefined two-hop bound.
+            assert estimate <= dist_r[s] + dist_r[t]
+
+    def test_exact_when_root_on_path(self):
+        g = path_graph(7)
+        bp = build_bit_parallel_labels(g, [3])
+        assert bp.query(0, 6) == 6.0  # root 3 lies on the only path
+
+    def test_neighbour_shortcut_refinement(self):
+        # Cycle of 4: 0-1-2-3-0 with root 0; d(1,3) = 2 but the naive
+        # two-hop bound through 0 is also 2; with root 1 and tracked
+        # neighbour 2 the s_minus intersection fires for (2, 2)... use a
+        # concrete refinement case: square plus diagonal anchor.
+        from repro.graphs.graph import Graph
+
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        bp = build_bit_parallel_labels(g, [0])
+        # d(1, 3) = 2; bound through 0 = 1 + 1 = 2 (already exact).
+        assert bp.query(1, 3) == 2.0
+
+    def test_unreachable_skipped(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        bp = build_bit_parallel_labels(g, [1])
+        assert bp.query(0, 3) == float("inf")
+
+    def test_size_accounting(self, ws_graph):
+        bp = build_bit_parallel_labels(ws_graph, [0, 1])
+        assert bp.size_bytes() == 2 * ws_graph.num_vertices * 17
+        assert bp.average_entries() > 0
+
+    def test_invalid_max_tracked(self, ws_graph):
+        with pytest.raises(ValueError):
+            build_bit_parallel_labels(ws_graph, [0], max_tracked=65)
+        with pytest.raises(ValueError):
+            build_bit_parallel_labels(ws_graph, [0], max_tracked=0)

@@ -1,0 +1,147 @@
+"""Tests for the querying framework: upper bounds and exact queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import upper_bound_distance, upper_bound_with_witness
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.query import HighwayCoverOracle
+from repro.errors import NotBuiltError
+from repro.graphs.generators import grid_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.landmarks.selection import select_landmarks
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+def _build(graph, k):
+    landmarks = select_landmarks(graph, k)
+    labelling, highway = build_highway_cover_labelling(graph, landmarks)
+    return landmarks, labelling, highway
+
+
+class TestUpperBounds:
+    def test_lemma_4_4_admissibility(self, ba_graph):
+        """d⊤(s,t) >= d(s,t) for all sampled non-landmark pairs."""
+        landmarks, labelling, highway = _build(ba_graph, 8)
+        landmark_set = set(landmarks)
+        pairs = sample_vertex_pairs(ba_graph, 200, seed=3)
+        for s, t in pairs:
+            s, t = int(s), int(t)
+            if s in landmark_set or t in landmark_set:
+                continue
+            truth = bfs_distances(ba_graph, s)[t]
+            bound = upper_bound_distance(labelling, highway, s, t)
+            assert bound >= truth
+
+    def test_bound_tight_through_landmark(self):
+        # path 0-1-2-3-4 with landmark 2: bound via 2 is exact for (0, 4).
+        g = path_graph(5)
+        _, labelling, highway = _build_explicit(g, [2])
+        assert upper_bound_distance(labelling, highway, 0, 4) == 4.0
+
+    def test_witness_reports_argmin(self, ba_graph):
+        landmarks, labelling, highway = _build(ba_graph, 8)
+        landmark_set = set(landmarks)
+        pairs = sample_vertex_pairs(ba_graph, 50, seed=4)
+        for s, t in pairs:
+            s, t = int(s), int(t)
+            if s in landmark_set or t in landmark_set:
+                continue
+            bound, ri, rj = upper_bound_with_witness(labelling, highway, s, t)
+            assert bound == upper_bound_distance(labelling, highway, s, t)
+            if np.isfinite(bound):
+                ls_idx, ls_dist = labelling.label_arrays(s)
+                lt_idx, lt_dist = labelling.label_arrays(t)
+                ds = float(ls_dist[list(ls_idx).index(ri)])
+                dt = float(lt_dist[list(lt_idx).index(rj)])
+                assert ds + highway.matrix[ri, rj] + dt == bound
+
+    def test_disconnected_pair_bound_is_inf(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        _, labelling, highway = _build_explicit(g, [1])
+        assert upper_bound_distance(labelling, highway, 0, 3) == float("inf")
+
+
+def _build_explicit(graph, landmarks):
+    labelling, highway = build_highway_cover_labelling(graph, landmarks)
+    return landmarks, labelling, highway
+
+
+class TestOracleExactness:
+    def test_matches_bfs_on_random_pairs(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=10).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 300, seed=5)
+        for s, t in pairs:
+            truth = bfs_distances(ba_graph, int(s))[int(t)]
+            assert oracle.query(int(s), int(t)) == float(truth)
+
+    def test_all_pairs_small_world(self, ws_graph):
+        oracle = HighwayCoverOracle(num_landmarks=6).build(ws_graph)
+        n = ws_graph.num_vertices
+        for s in range(0, n, 7):
+            truth = bfs_distances(ws_graph, s)
+            for t in range(0, n, 11):
+                expected = float(truth[t]) if truth[t] != UNREACHED else float("inf")
+                assert oracle.query(s, t) == expected
+
+    def test_landmark_endpoint_queries(self, ba_graph):
+        """Landmark-vertex and landmark-landmark pairs are exact too."""
+        oracle = HighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        landmarks = list(oracle.highway.landmarks)
+        truth0 = bfs_distances(ba_graph, int(landmarks[0]))
+        for t in range(0, ba_graph.num_vertices, 13):
+            assert oracle.query(int(landmarks[0]), t) == float(truth0[t])
+        for r2 in landmarks[1:]:
+            assert oracle.query(int(landmarks[0]), int(r2)) == float(truth0[int(r2)])
+
+    def test_query_is_symmetric(self, er_graph):
+        oracle = HighwayCoverOracle(num_landmarks=5).build(er_graph)
+        pairs = sample_vertex_pairs(er_graph, 100, seed=6)
+        for s, t in pairs:
+            assert oracle.query(int(s), int(t)) == oracle.query(int(t), int(s))
+
+    def test_same_vertex_zero(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=4).build(ba_graph)
+        assert oracle.query(17, 17) == 0.0
+
+    def test_grid_exactness(self):
+        """Long-distance regime: bounds are loose, search does the work."""
+        g = grid_graph(7, 7)
+        oracle = HighwayCoverOracle(num_landmarks=3).build(g)
+        truth = {s: bfs_distances(g, s) for s in range(0, 49, 5)}
+        for s, dist in truth.items():
+            for t in range(0, 49, 6):
+                assert oracle.query(s, t) == float(dist[t])
+
+    def test_disconnected_inf(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        oracle = HighwayCoverOracle(num_landmarks=2).build(g)
+        assert oracle.query(0, 5) == float("inf")
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotBuiltError):
+            HighwayCoverOracle().query(0, 1)
+
+    def test_explicit_landmarks_used(self, example_graph):
+        oracle = HighwayCoverOracle(landmarks=[1, 5, 9]).build(example_graph)
+        assert list(oracle.highway.landmarks) == [1, 5, 9]
+
+    def test_upper_bound_never_below_query(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 150, seed=7)
+        for s, t in pairs:
+            assert oracle.upper_bound(int(s), int(t)) >= oracle.query(int(s), int(t))
+
+    def test_coverage_flag_consistent(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 100, seed=8)
+        for s, t in pairs:
+            covered = oracle.is_covered(int(s), int(t))
+            assert covered == (
+                oracle.upper_bound(int(s), int(t)) == oracle.query(int(s), int(t))
+            )
+
+    def test_construction_seconds_recorded(self, ws_graph):
+        oracle = HighwayCoverOracle(num_landmarks=4).build(ws_graph)
+        assert oracle.construction_seconds > 0

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture()
+def edgelist(tmp_path):
+    graph = barabasi_albert_graph(120, 3, seed=6, name="cli-test")
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestStats:
+    def test_prints_table(self, edgelist, capsys):
+        assert main(["stats", str(edgelist)]) == 0
+        out = capsys.readouterr().out
+        assert "m/n" in out
+        assert "120" in out
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, edgelist, tmp_path, capsys):
+        index = tmp_path / "index.hl"
+        assert main(["build", str(edgelist), "-o", str(index), "-k", "6"]) == 0
+        assert index.exists()
+        out = capsys.readouterr().out
+        assert "built HL(k=6" in out
+
+        assert main(["query", str(edgelist), str(index), "0", "100", "5", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "d(0, 100) =" in out
+        assert "d(5, 50) =" in out
+
+    def test_query_results_are_exact(self, edgelist, tmp_path, capsys):
+        from repro.graphs.io import read_edge_list
+        from repro.search.bfs import bfs_distance
+
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index), "-k", "6"])
+        capsys.readouterr()
+        main(["query", str(edgelist), str(index), "0", "100"])
+        out = capsys.readouterr().out.strip()
+        reported = float(out.rsplit("=", 1)[1])
+        graph = read_edge_list(edgelist)
+        assert reported == bfs_distance(graph, 0, 100)
+
+    def test_odd_vertex_count_fails(self, edgelist, tmp_path, capsys):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index)])
+        capsys.readouterr()
+        assert main(["query", str(edgelist), str(index), "0", "1", "2"]) == 2
+
+    def test_build_with_strategy(self, edgelist, tmp_path):
+        index = tmp_path / "index.hl"
+        assert (
+            main(
+                [
+                    "build",
+                    str(edgelist),
+                    "-o",
+                    str(index),
+                    "-k",
+                    "5",
+                    "--strategy",
+                    "closeness",
+                ]
+            )
+            == 0
+        )
+
+
+class TestDatasetCommands:
+    def test_datasets_lists_twelve(self, capsys):
+        assert main(["datasets"]) == 0
+        names = capsys.readouterr().out.split()
+        assert len(names) == 12
+        assert "ClueWeb09" in names
+
+    def test_bench_dataset(self, capsys):
+        assert (
+            main(["bench-dataset", "Skitter", "--scale", "0.05", "--pairs", "20"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "Skitter" in out

@@ -1,0 +1,79 @@
+"""Tests for label compression and Table 3 byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import (
+    LabelCodec,
+    decode_labels,
+    encode_labels,
+    encoded_size_bytes,
+)
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.query import HighwayCoverOracle
+from repro.errors import CompressionError
+from repro.landmarks.selection import select_landmarks
+
+
+class TestLabelCodec:
+    def test_entry_widths_match_section_5_2(self):
+        assert LabelCodec("u32").bytes_per_entry == 5  # 32-bit id + 8-bit dist
+        assert LabelCodec("u8").bytes_per_entry == 2  # 8-bit id + 8-bit dist
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(CompressionError):
+            LabelCodec("u16")
+
+    def test_u8_landmark_capacity(self):
+        assert LabelCodec("u8").max_landmarks == 256
+
+
+class TestByteAccounting:
+    def test_hl8_smaller_than_hl(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 8)
+        labelling, highway = build_highway_cover_labelling(ba_graph, landmarks)
+        wide = encoded_size_bytes(labelling, highway, LabelCodec("u32"))
+        narrow = encoded_size_bytes(labelling, highway, LabelCodec("u8"))
+        assert narrow < wide
+        # The entry payload shrinks by exactly 5:2.
+        entries = labelling.size()
+        assert wide - narrow == entries * 3
+
+    def test_oracle_size_bytes_uses_codec(self, ba_graph):
+        wide = HighwayCoverOracle(num_landmarks=6, codec="u32").build(ba_graph)
+        narrow = HighwayCoverOracle(num_landmarks=6, codec="u8").build(ba_graph)
+        assert narrow.size_bytes() < wide.size_bytes()
+        # Same labelling, same ALS.
+        assert narrow.average_label_size() == wide.average_label_size()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ["u32", "u8"])
+    def test_lossless(self, ba_graph, kind):
+        landmarks = select_landmarks(ba_graph, 8)
+        labelling, _ = build_highway_cover_labelling(ba_graph, landmarks)
+        codec = LabelCodec(kind)
+        enc_idx, enc_dist = encode_labels(labelling, codec)
+        decoded = decode_labels(
+            labelling.num_vertices,
+            labelling.num_landmarks,
+            labelling.offsets,
+            enc_idx,
+            enc_dist,
+        )
+        assert decoded == labelling
+
+    def test_u8_overflow_rejected(self):
+        """A labelling with >256 landmarks cannot use the u8 codec."""
+        from repro.core.highway import Highway
+        from repro.core.labels import LabelAccumulator
+
+        acc = LabelAccumulator(num_vertices=300, num_landmarks=300)
+        for i in range(300):
+            acc.add_landmark_result(i, np.asarray([0]), np.asarray([1]))
+        labelling = acc.freeze()
+        highway = Highway(list(range(1, 301)))
+        with pytest.raises(CompressionError):
+            LabelCodec("u8").validate(labelling, highway)
+        with pytest.raises(CompressionError):
+            encode_labels(labelling, LabelCodec("u8"))

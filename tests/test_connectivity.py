@@ -1,0 +1,51 @@
+"""Unit tests for connected components."""
+
+from repro.graphs.connectivity import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graphs.graph import Graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert connected_components(g).tolist() == [0, 0, 0, 0]
+        assert is_connected(g)
+
+    def test_two_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+        assert comp[4] not in (comp[0], comp[2])
+        assert not is_connected(g)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph(0, []))
+
+    def test_isolated_vertices_each_own_component(self):
+        g = Graph(3, [])
+        assert sorted(connected_components(g).tolist()) == [0, 1, 2]
+
+
+class TestLargestComponent:
+    def test_extracts_biggest(self):
+        g = Graph(7, [(0, 1), (1, 2), (2, 3), (5, 6)])
+        lcc, old_ids = largest_connected_component(g)
+        assert lcc.num_vertices == 4
+        assert lcc.num_edges == 3
+        assert old_ids.tolist() == [0, 1, 2, 3]
+
+    def test_preserves_name(self):
+        g = Graph(4, [(0, 1)], name="named")
+        lcc, _ = largest_connected_component(g)
+        assert lcc.name == "named"
+
+    def test_already_connected_unchanged_size(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        lcc, _ = largest_connected_component(g)
+        assert lcc.num_vertices == 4
+        assert is_connected(lcc)

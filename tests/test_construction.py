@@ -1,0 +1,143 @@
+"""Tests for Algorithm 1 — correctness against the paper's theorems."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import (
+    build_highway_cover_labelling,
+    pruned_bfs_from_landmark,
+)
+from repro.core.verification import (
+    is_highway_cover,
+    is_hwc_minimal,
+    labelling_entry_set,
+    labelling_sizes_by_order,
+    reference_minimal_entries,
+)
+from repro.errors import ConstructionBudgetExceeded, LandmarkError
+from repro.graphs.generators import barabasi_albert_graph, grid_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.landmarks.selection import select_landmarks
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+class TestPrunedBFS:
+    def test_single_landmark_labels_everything(self):
+        """With one landmark no pruning can occur (Lemma 3.7 with |R|=1)."""
+        g = barabasi_albert_graph(100, 2, seed=1)
+        landmarks = np.asarray([0], dtype=np.int64)
+        mask = np.zeros(100, dtype=bool)
+        mask[0] = True
+        vertices, distances, row = pruned_bfs_from_landmark(g, 0, mask, landmarks)
+        dist = bfs_distances(g, 0)
+        assert len(vertices) == int((dist != UNREACHED).sum()) - 1
+        assert row.tolist() == [0.0]
+        reorder = np.argsort(vertices)
+        assert np.array_equal(dist[vertices[reorder]], distances[reorder])
+
+    def test_labelled_distances_are_exact(self, ba_graph):
+        landmarks = np.asarray(select_landmarks(ba_graph, 6), dtype=np.int64)
+        mask = np.zeros(ba_graph.num_vertices, dtype=bool)
+        mask[landmarks] = True
+        for r in landmarks:
+            vertices, distances, _ = pruned_bfs_from_landmark(
+                ba_graph, int(r), mask, landmarks
+            )
+            truth = bfs_distances(ba_graph, int(r))
+            assert np.array_equal(truth[vertices], distances)
+
+    def test_landmarks_never_labelled(self, ba_graph):
+        landmarks = np.asarray(select_landmarks(ba_graph, 6), dtype=np.int64)
+        mask = np.zeros(ba_graph.num_vertices, dtype=bool)
+        mask[landmarks] = True
+        for r in landmarks:
+            vertices, _, _ = pruned_bfs_from_landmark(ba_graph, int(r), mask, landmarks)
+            assert not mask[vertices].any()
+
+    def test_highway_row_is_exact(self, ba_graph):
+        landmarks = np.asarray(select_landmarks(ba_graph, 6), dtype=np.int64)
+        mask = np.zeros(ba_graph.num_vertices, dtype=bool)
+        mask[landmarks] = True
+        for r in landmarks:
+            _, _, row = pruned_bfs_from_landmark(ba_graph, int(r), mask, landmarks)
+            truth = bfs_distances(ba_graph, int(r))[landmarks]
+            assert np.array_equal(row, truth.astype(float))
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_lemma_3_7_entry_characterization(self, ba_graph, k):
+        """Entries match the brute-force Lemma 3.7 oracle exactly."""
+        landmarks = select_landmarks(ba_graph, k)
+        labelling, highway = build_highway_cover_labelling(ba_graph, landmarks)
+        assert labelling_entry_set(labelling) == reference_minimal_entries(
+            ba_graph, highway
+        )
+
+    def test_theorem_3_9_highway_cover_property(self, ws_graph):
+        landmarks = select_landmarks(ws_graph, 5)
+        labelling, highway = build_highway_cover_labelling(ws_graph, landmarks)
+        assert is_highway_cover(ws_graph, labelling, highway)
+
+    def test_theorem_3_12_minimality(self, er_graph):
+        landmarks = select_landmarks(er_graph, 5)
+        labelling, highway = build_highway_cover_labelling(er_graph, landmarks)
+        assert is_hwc_minimal(er_graph, labelling, highway)
+
+    def test_lemma_3_11_order_independence(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 6)
+        orders = [landmarks, list(reversed(landmarks)), landmarks[3:] + landmarks[:3]]
+        sizes = labelling_sizes_by_order(ba_graph, orders)
+        assert len(set(sizes.values())) == 1
+        # Stronger: per-vertex labels identical (not just sizes).
+        base, _ = build_highway_cover_labelling(ba_graph, landmarks)
+        other, _ = build_highway_cover_labelling(ba_graph, list(reversed(landmarks)))
+        for v in range(ba_graph.num_vertices):
+            base_entries = {
+                (landmarks[i], d) for i, d in base.label(v).entries()
+            }
+            rev = list(reversed(landmarks))
+            other_entries = {(rev[i], d) for i, d in other.label(v).entries()}
+            assert base_entries == other_entries
+
+    def test_highway_matrix_exact_and_symmetric(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 6)
+        _, highway = build_highway_cover_labelling(ba_graph, landmarks)
+        assert np.allclose(highway.matrix, highway.matrix.T)
+        for i, r in enumerate(landmarks):
+            truth = bfs_distances(ba_graph, r)[np.asarray(landmarks)]
+            assert np.array_equal(highway.matrix[i], truth.astype(float))
+
+    def test_grid_graph(self):
+        """Low-degree graphs: labels exist and distances are exact."""
+        g = grid_graph(6, 6)
+        landmarks = select_landmarks(g, 4)
+        labelling, highway = build_highway_cover_labelling(g, landmarks)
+        assert is_highway_cover(g, labelling, highway)
+        assert is_hwc_minimal(g, labelling, highway)
+
+    def test_disconnected_graph_labels_reachable_side_only(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labelling, highway = build_highway_cover_labelling(g, [0])
+        assert labelling.label_size(1) == 1
+        assert labelling.label_size(4) == 0  # other component
+        assert highway.distance(0, 0) == 0.0
+
+    def test_all_vertices_landmarks(self):
+        g = path_graph(4)
+        labelling, highway = build_highway_cover_labelling(g, [0, 1, 2, 3])
+        assert labelling.size() == 0  # nothing left to label
+        assert highway.distance(0, 3) == 3.0
+
+    def test_no_landmarks_rejected(self, ba_graph):
+        with pytest.raises(LandmarkError):
+            build_highway_cover_labelling(ba_graph, [])
+
+    def test_budget_exceeded_raises(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 10)
+        with pytest.raises(ConstructionBudgetExceeded):
+            build_highway_cover_labelling(ba_graph, landmarks, budget_s=1e-9)
+
+    def test_example_graph_label_count(self, example_graph):
+        labelling, _ = build_highway_cover_labelling(example_graph, [1, 5, 9])
+        assert labelling.size() == 13  # LS in Figure 3

@@ -1,0 +1,112 @@
+"""Unit tests for the CSR adjacency core."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.csr import (
+    CSRAdjacency,
+    build_csr,
+    frontier_neighbors,
+    induced_subgraph_csr,
+)
+
+
+class TestBuildCSR:
+    def test_simple_triangle(self):
+        csr = build_csr(3, [(0, 1), (1, 2), (0, 2)])
+        assert csr.num_vertices == 3
+        assert csr.num_directed_edges == 6
+        assert list(csr.neighbors(0)) == [1, 2]
+        assert list(csr.neighbors(1)) == [0, 2]
+        assert list(csr.neighbors(2)) == [0, 1]
+
+    def test_deduplicates_parallel_edges(self):
+        csr = build_csr(2, [(0, 1), (0, 1), (1, 0)])
+        assert csr.num_directed_edges == 2
+
+    def test_drops_self_loops(self):
+        csr = build_csr(2, [(0, 0), (0, 1), (1, 1)])
+        assert csr.num_directed_edges == 2
+        assert list(csr.neighbors(0)) == [1]
+
+    def test_empty_graph(self):
+        csr = build_csr(0, [])
+        assert csr.num_vertices == 0
+        assert csr.num_directed_edges == 0
+
+    def test_vertices_without_edges(self):
+        csr = build_csr(5, [(0, 1)])
+        assert csr.degree(4) == 0
+        assert csr.degree(0) == 1
+
+    def test_neighbors_sorted(self):
+        csr = build_csr(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert list(csr.neighbors(2)) == [0, 1, 3, 4]
+
+    def test_out_of_range_endpoint_raises(self):
+        with pytest.raises(GraphError):
+            build_csr(2, [(0, 2)])
+        with pytest.raises(GraphError):
+            build_csr(2, [(-1, 0)])
+
+    def test_negative_vertex_count_raises(self):
+        with pytest.raises(GraphError):
+            build_csr(-1, [])
+
+    def test_malformed_edge_list_raises(self):
+        with pytest.raises(GraphError):
+            build_csr(3, np.asarray([1, 2, 3]))
+
+    def test_degrees_match_indptr(self):
+        csr = build_csr(4, [(0, 1), (0, 2), (0, 3)])
+        assert list(csr.degrees()) == [3, 1, 1, 1]
+
+
+class TestFrontierNeighbors:
+    def test_single_vertex_frontier(self):
+        csr = build_csr(4, [(0, 1), (0, 2), (1, 3)])
+        out = frontier_neighbors(csr, np.asarray([0]))
+        assert sorted(out.tolist()) == [1, 2]
+
+    def test_multi_vertex_frontier_concatenates(self):
+        csr = build_csr(4, [(0, 1), (0, 2), (1, 3)])
+        out = frontier_neighbors(csr, np.asarray([0, 1]))
+        assert sorted(out.tolist()) == [0, 1, 2, 3]
+
+    def test_isolated_vertices_contribute_nothing(self):
+        csr = build_csr(4, [(0, 1)])
+        out = frontier_neighbors(csr, np.asarray([2, 3]))
+        assert out.size == 0
+
+    def test_matches_naive_gather_on_random_graph(self):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 50, size=(200, 2))
+        csr = build_csr(50, edges)
+        frontier = np.unique(rng.integers(0, 50, size=10)).astype(np.int64)
+        fast = sorted(frontier_neighbors(csr, frontier).tolist())
+        slow = sorted(
+            int(v) for u in frontier for v in csr.neighbors(int(u))
+        )
+        assert fast == slow
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        csr = build_csr(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        keep = np.asarray([True, True, True, False, False])
+        sub, old_ids = induced_subgraph_csr(csr, keep)
+        assert sub.num_vertices == 3
+        assert sub.num_directed_edges == 4  # edges (0,1) and (1,2)
+        assert old_ids.tolist() == [0, 1, 2]
+
+    def test_empty_keep(self):
+        csr = build_csr(3, [(0, 1)])
+        sub, old_ids = induced_subgraph_csr(csr, np.zeros(3, dtype=bool))
+        assert sub.num_vertices == 0
+        assert old_ids.size == 0
+
+    def test_wrong_mask_shape_raises(self):
+        csr = build_csr(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            induced_subgraph_csr(csr, np.zeros(2, dtype=bool))

@@ -1,0 +1,66 @@
+"""Tests for the dataset surrogate registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    load_all_datasets,
+    load_dataset,
+)
+from repro.graphs.connectivity import is_connected
+
+
+class TestRegistry:
+    def test_twelve_datasets_in_table_1_order(self):
+        names = dataset_names()
+        assert len(names) == 12
+        assert names[0] == "Skitter"
+        assert names[-1] == "ClueWeb09"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("Facebook")
+
+    def test_generation_deterministic(self):
+        a = load_dataset("Skitter", scale=0.05)
+        b = load_dataset("Skitter", scale=0.05)
+        assert a == b
+
+    def test_scale_changes_size(self):
+        small = load_dataset("Flickr", scale=0.05)
+        bigger = load_dataset("Flickr", scale=0.1)
+        assert bigger.num_vertices > small.num_vertices
+
+    def test_minimum_size_floor(self):
+        tiny = load_dataset("Skitter", scale=1e-9)
+        assert tiny.num_vertices >= 2  # floor of 64 raw vertices, then LCC
+
+
+class TestSurrogateShape:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_connected_and_named(self, name):
+        g = load_dataset(name, scale=0.03)
+        assert g.name == name
+        assert g.num_vertices > 0
+        assert is_connected(g)
+
+    def test_relative_size_ordering_preserved(self):
+        """ClueWeb09 surrogate is the largest, as in Table 1."""
+        graphs = dict((spec.name, g) for spec, g in load_all_datasets(scale=0.05))
+        assert graphs["ClueWeb09"].num_vertices == max(
+            g.num_vertices for g in graphs.values()
+        )
+        assert graphs["Skitter"].num_vertices <= graphs["uk2007"].num_vertices
+
+    def test_hollywood_is_densest(self):
+        graphs = dict((spec.name, g) for spec, g in load_all_datasets(scale=0.05))
+        density = {
+            name: g.num_edges / g.num_vertices for name, g in graphs.items()
+        }
+        assert density["Hollywood"] == max(density.values())
+
+    def test_scale_free_degree_skew(self):
+        g = load_dataset("Twitter", scale=0.1)
+        degrees = g.degrees()
+        assert degrees.max() > 5 * degrees.mean()

@@ -1,0 +1,110 @@
+"""Tests for the dynamic HL extension (incremental edge insertion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.dynamic import DynamicHighwayCoverOracle, _entries_of_landmark
+from repro.core.query import HighwayCoverOracle
+from repro.graphs.generators import barabasi_albert_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+def _fresh_equivalent(oracle):
+    """A from-scratch oracle on the same graph and landmark set."""
+    return HighwayCoverOracle(
+        landmarks=[int(r) for r in oracle.highway.landmarks]
+    ).build(oracle.graph)
+
+
+class TestEntryExtraction:
+    def test_round_trip_via_accumulator(self, ba_graph):
+        from repro.landmarks.selection import select_landmarks
+
+        landmarks = select_landmarks(ba_graph, 6)
+        labelling, _ = build_highway_cover_labelling(ba_graph, landmarks)
+        for index in range(6):
+            vertices, distances = _entries_of_landmark(labelling, index)
+            truth = bfs_distances(ba_graph, landmarks[index])
+            assert np.array_equal(truth[vertices], distances)
+
+
+class TestInsertEdge:
+    def test_repaired_equals_rebuilt(self, ba_graph):
+        """The incremental repair is byte-identical to a fresh build."""
+        oracle = DynamicHighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        rng = np.random.default_rng(4)
+        inserted = 0
+        while inserted < 5:
+            u, v = (int(x) for x in rng.integers(0, ba_graph.num_vertices, 2))
+            if u == v or oracle.graph.has_edge(u, v):
+                continue
+            oracle.insert_edge(u, v)
+            inserted += 1
+            fresh = _fresh_equivalent(oracle)
+            assert oracle.labelling == fresh.labelling
+            assert np.array_equal(oracle.highway.matrix, fresh.highway.matrix)
+
+    def test_queries_exact_after_insertions(self, ws_graph):
+        oracle = DynamicHighwayCoverOracle(num_landmarks=6).build(ws_graph)
+        n = ws_graph.num_vertices
+        oracle.insert_edge(0, n // 2)
+        oracle.insert_edge(1, n - 1) if not oracle.graph.has_edge(1, n - 1) else None
+        pairs = sample_vertex_pairs(oracle.graph, 120, seed=5)
+        for s, t in pairs:
+            truth = bfs_distances(oracle.graph, int(s))[int(t)]
+            expected = float(truth) if truth != UNREACHED else float("inf")
+            assert oracle.query(int(s), int(t)) == expected
+
+    def test_same_level_chord_affects_no_landmark(self):
+        # Cycle 0-1-2-3-4-5-0 with landmark 0: vertices 2 and 4 sit at the
+        # same BFS level, so the chord (2, 4) changes nothing.
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        oracle = DynamicHighwayCoverOracle(landmarks=[0]).build(g)
+        affected = oracle.insert_edge(2, 4)
+        assert affected == []
+        assert oracle.query(2, 4) == 1.0  # still exact (search side)
+
+    def test_reconnection_across_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        oracle = DynamicHighwayCoverOracle(landmarks=[1]).build(g)
+        assert oracle.query(0, 5) == float("inf")
+        affected = oracle.insert_edge(2, 3)
+        assert affected == [1]
+        assert oracle.query(0, 5) == 5.0  # 0-1-2-3-4-5
+        fresh = _fresh_equivalent(oracle)
+        assert oracle.labelling == fresh.labelling
+
+    def test_existing_edge_rejected(self, ba_graph):
+        oracle = DynamicHighwayCoverOracle(num_landmarks=4).build(ba_graph)
+        u = 0
+        v = int(ba_graph.neighbors(0)[0])
+        with pytest.raises(ValueError):
+            oracle.insert_edge(u, v)
+
+    def test_self_loop_rejected(self, ba_graph):
+        oracle = DynamicHighwayCoverOracle(num_landmarks=4).build(ba_graph)
+        with pytest.raises(ValueError):
+            oracle.insert_edge(3, 3)
+
+
+class TestDeleteEdge:
+    def test_delete_rebuilds_and_stays_exact(self):
+        g = path_graph(8)
+        # Add a chord so deletion does not disconnect.
+        g = g.with_edges_added([(0, 7)])
+        oracle = DynamicHighwayCoverOracle(num_landmarks=3).build(g)
+        landmarks_before = [int(r) for r in oracle.highway.landmarks]
+        oracle.delete_edge(0, 7)
+        assert [int(r) for r in oracle.highway.landmarks] == landmarks_before
+        truth = bfs_distances(oracle.graph, 0)
+        for t in range(8):
+            assert oracle.query(0, t) == float(truth[t])
+
+    def test_delete_missing_edge_rejected(self):
+        g = path_graph(5)
+        oracle = DynamicHighwayCoverOracle(num_landmarks=2).build(g)
+        with pytest.raises(ValueError):
+            oracle.delete_edge(0, 4)

@@ -1,0 +1,108 @@
+"""Cross-cutting edge cases that don't belong to a single module."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.query import HighwayCoverOracle
+from repro.errors import CompressionError, LandmarkError, VertexError
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestDegenerateTopologies:
+    def test_two_vertex_graph(self):
+        g = Graph(2, [(0, 1)])
+        oracle = HighwayCoverOracle(num_landmarks=1).build(g)
+        assert oracle.query(0, 1) == 1.0
+        assert oracle.query(1, 0) == 1.0
+
+    def test_landmark_is_cut_vertex(self):
+        """Removing the only articulation point must not break queries —
+        the bound through the landmark is exact there (Theorem 4.6 case 1)."""
+        g = star_graph(8)
+        oracle = HighwayCoverOracle(num_landmarks=1).build(g)  # centre
+        for a in range(1, 8):
+            for b in range(1, 8):
+                expected = 0.0 if a == b else 2.0
+                assert oracle.query(a, b) == expected
+
+    def test_path_with_end_landmarks(self):
+        g = path_graph(9)
+        oracle = HighwayCoverOracle(landmarks=[0, 8]).build(g)
+        for s in range(9):
+            for t in range(9):
+                assert oracle.query(s, t) == float(abs(s - t))
+
+    def test_complete_graph(self):
+        n = 8
+        g = Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        oracle = HighwayCoverOracle(num_landmarks=3).build(g)
+        for s in range(n):
+            for t in range(n):
+                assert oracle.query(s, t) == (0.0 if s == t else 1.0)
+
+    def test_all_vertices_are_landmarks(self):
+        g = path_graph(5)
+        oracle = HighwayCoverOracle(num_landmarks=5).build(g)
+        assert oracle.query(0, 4) == 4.0  # pure highway lookup
+
+    def test_isolated_vertex_queries(self):
+        g = Graph(4, [(0, 1), (1, 2)])  # vertex 3 isolated
+        oracle = HighwayCoverOracle(landmarks=[1]).build(g)
+        assert oracle.query(0, 3) == float("inf")
+        assert oracle.query(3, 3) == 0.0
+
+
+class TestValidationPaths:
+    def test_query_out_of_range(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=3).build(ba_graph)
+        with pytest.raises(VertexError):
+            oracle.query(0, ba_graph.num_vertices)
+        with pytest.raises(VertexError):
+            oracle.query(-1, 0)
+
+    def test_landmark_out_of_range(self, ba_graph):
+        with pytest.raises((LandmarkError, VertexError)):
+            HighwayCoverOracle(landmarks=[ba_graph.num_vertices + 5]).build(ba_graph)
+
+    def test_duplicate_landmarks_rejected(self, ba_graph):
+        with pytest.raises(LandmarkError):
+            HighwayCoverOracle(landmarks=[1, 1]).build(ba_graph)
+
+    def test_u8_codec_rejects_many_landmarks(self):
+        """Codec validation fires at build time, not at query time."""
+        g = Graph(300, [(i, (i + 1) % 300) for i in range(300)])
+        oracle = HighwayCoverOracle(num_landmarks=260, codec="u8")
+        with pytest.raises(CompressionError):
+            oracle.build(g)
+
+    def test_u8_codec_rejects_long_distances(self):
+        """Distances over 255 overflow the 8-bit distance field."""
+        g = path_graph(300)
+        oracle = HighwayCoverOracle(landmarks=[0], codec="u8")
+        with pytest.raises(CompressionError):
+            oracle.build(g)
+
+    def test_u32_codec_accepts_long_distance_rejection_boundary(self):
+        # 8-bit distance field is shared by both codecs (Section 5.2).
+        g = path_graph(300)
+        oracle = HighwayCoverOracle(landmarks=[0], codec="u32")
+        with pytest.raises(CompressionError):
+            oracle.build(g)
+
+
+class TestLargeDistanceRegime:
+    def test_long_path_distances_exact_without_codec_limit(self):
+        """The raw labelling (no codec) handles distances > 255."""
+        g = path_graph(400)
+        labelling, highway = build_highway_cover_labelling(g, [0])
+        idx, dist = labelling.label_arrays(399)
+        assert dist.tolist() == [399]
+
+    def test_grid_corner_to_corner(self):
+        from repro.graphs.generators import grid_graph
+
+        g = grid_graph(12, 12)
+        oracle = HighwayCoverOracle(num_landmarks=5).build(g)
+        assert oracle.query(0, 143) == 22.0

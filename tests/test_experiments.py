@@ -1,0 +1,134 @@
+"""Tests for the experiment harness and the table/figure drivers.
+
+Drivers run on tiny configurations (two small surrogates, few pairs) so
+the suite stays fast; the full-size runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure1, figure6, figure7, figure8, figure9, table1, table2, table3
+from repro.experiments.harness import (
+    DNF,
+    ExperimentConfig,
+    make_method,
+    measure_method,
+)
+from repro.datasets.registry import load_dataset
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        scale=0.03,
+        num_landmarks=5,
+        num_query_pairs=20,
+        num_online_pairs=5,
+        construction_budget_s=30,
+        datasets=["Skitter", "Hollywood"],
+    )
+
+
+class TestHarness:
+    def test_make_method_known_names(self, tiny_config):
+        for name in ["HL", "HL-P", "HL(8)", "FD", "PLL", "IS-L", "Bi-BFS", "BFS", "Dijkstra"]:
+            method = make_method(name, tiny_config)
+            assert hasattr(method, "build")
+            assert hasattr(method, "query")
+
+    def test_make_method_unknown_raises(self, tiny_config):
+        with pytest.raises(KeyError):
+            make_method("HHL", tiny_config)
+
+    def test_measure_method_happy_path(self, tiny_config):
+        graph = load_dataset("Skitter", scale=0.03)
+        pairs = sample_vertex_pairs(graph, 10, seed=1)
+        meas = measure_method("HL", graph, pairs, tiny_config)
+        assert meas.finished
+        assert meas.construction_seconds > 0
+        assert meas.avg_query_ms is not None
+        assert meas.size_bytes > 0
+        assert meas.ct_cell() != DNF
+
+    def test_measure_method_dnf(self):
+        config = ExperimentConfig(
+            scale=0.03, num_landmarks=5, construction_budget_s=1e-9
+        )
+        graph = load_dataset("Skitter", scale=0.03)
+        meas = measure_method("PLL", graph, np.empty((0, 2)), config)
+        assert not meas.finished
+        assert meas.ct_cell() == DNF
+        assert meas.qt_cell() == "-"
+
+
+class TestTableDrivers:
+    def test_table1(self, tiny_config):
+        rows = table1.run(tiny_config)
+        assert len(rows) == 2
+        rendered = table1.render(rows)
+        assert "Skitter" in rendered and "m/n" in rendered
+
+    def test_table2(self, tiny_config):
+        rows = table2.run(tiny_config)
+        rendered = table2.render(rows)
+        assert "CT[s] HL-P" in rendered
+        assert "QT[ms] Bi-BFS" in rendered
+        for row in rows:
+            hl = row.measurements["HL"]
+            assert hl.finished
+            assert hl.average_label_size > 0
+
+    def test_table3_size_ordering(self, tiny_config):
+        rows = table3.run(tiny_config)
+        for row in rows:
+            hl8 = row.measurements["HL(8)"].size_bytes
+            hl = row.measurements["HL"].size_bytes
+            fd = row.measurements["FD"].size_bytes
+            assert hl8 < hl < fd  # the paper's headline ordering
+        assert "HL(8)" in table3.render(rows)
+
+
+class TestFigureDrivers:
+    def test_figure1(self, tiny_config):
+        result = figure1.run(tiny_config)
+        assert result.hl_hwc_minimal_verified
+        methods = {m.method for m in result.panel_a}
+        assert {"HL", "FD", "Bi-BFS"} <= methods
+        assert "HWC-minimal" in figure1.render(result)
+
+    def test_figure6(self, tiny_config):
+        series = figure6.run(tiny_config)
+        for s in series:
+            assert sum(s.distribution.values()) == pytest.approx(1.0)
+            assert 1 <= s.modal_distance() <= 10  # small-world regime
+        assert "d=" in figure6.render(series)
+
+    def test_figure7_linear_construction(self, tiny_config):
+        rows = figure7.run(tiny_config)
+        for row in rows:
+            cts = [row.construction_seconds[k] for k in sorted(row.construction_seconds)]
+            assert all(ct > 0 for ct in cts)
+            # More landmarks never get *cheaper* by much (linear trend).
+            assert cts[-1] >= cts[0] * 0.8
+        assert "CT[s] k=10" in figure7.render(rows)
+
+    def test_figure8_hl_grows_with_landmarks(self, tiny_config):
+        rows = figure8.run(tiny_config)
+        for row in rows:
+            sizes = [row.hl_size_bytes[k] for k in sorted(row.hl_size_bytes)]
+            # Sizes trend upward with k. (Strict monotonicity can break on
+            # tiny graphs: a new landmark may prune other landmarks'
+            # entries; at the paper's scale growth is linear.)
+            assert sizes[-1] > sizes[0]
+            assert row.fd_size_bytes > 0
+        assert "FD-20" in figure8.render(rows)
+
+    def test_figure9_coverage_monotone_and_fd_competitive(self, tiny_config):
+        rows = figure9.run(tiny_config)
+        for row in rows:
+            cov = [row.hl_coverage[k] for k in sorted(row.hl_coverage)]
+            assert all(0.0 <= c <= 1.0 for c in cov)
+            # Coverage trends upward with more landmarks.
+            assert cov[-1] >= cov[0] - 0.05
+        assert "HL-50" in figure9.render(rows)

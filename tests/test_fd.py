@@ -1,0 +1,127 @@
+"""Tests for the FD baseline (landmark SPTs + BP + bounded search)."""
+
+import pytest
+
+from repro.baselines.fd import FullyDynamicOracle
+from repro.errors import ConstructionBudgetExceeded, NotBuiltError
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+class TestFDExactness:
+    @pytest.mark.parametrize("use_bp", [True, False])
+    def test_matches_bfs(self, ba_graph, use_bp):
+        fd = FullyDynamicOracle(num_landmarks=8, use_bit_parallel=use_bp).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 200, seed=1)
+        for s, t in pairs:
+            truth = bfs_distances(ba_graph, int(s))[int(t)]
+            assert fd.query(int(s), int(t)) == float(truth)
+
+    def test_landmark_endpoints(self, ws_graph):
+        fd = FullyDynamicOracle(num_landmarks=5).build(ws_graph)
+        assert fd.landmarks is not None
+        r = fd.landmarks[0]
+        truth = bfs_distances(ws_graph, r)
+        for t in range(0, ws_graph.num_vertices, 9):
+            assert fd.query(r, t) == float(truth[t])
+
+    def test_same_vertex(self, ba_graph):
+        fd = FullyDynamicOracle(num_landmarks=4).build(ba_graph)
+        assert fd.query(7, 7) == 0.0
+
+    def test_disconnected(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        fd = FullyDynamicOracle(num_landmarks=2).build(g)
+        assert fd.query(0, 5) == float("inf")
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotBuiltError):
+            FullyDynamicOracle().query(0, 1)
+
+
+class TestFDBounds:
+    def test_upper_bound_admissible(self, ba_graph):
+        fd = FullyDynamicOracle(num_landmarks=8).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 150, seed=2)
+        for s, t in pairs:
+            truth = bfs_distances(ba_graph, int(s))[int(t)]
+            assert fd.upper_bound(int(s), int(t)) >= float(truth)
+
+    def test_bp_tightens_bounds(self, ba_graph):
+        """BP masks can only tighten the landmark bound (never loosen)."""
+        with_bp = FullyDynamicOracle(num_landmarks=6, use_bit_parallel=True).build(
+            ba_graph
+        )
+        without = FullyDynamicOracle(num_landmarks=6, use_bit_parallel=False).build(
+            ba_graph
+        )
+        pairs = sample_vertex_pairs(ba_graph, 150, seed=3)
+        for s, t in pairs:
+            assert with_bp.upper_bound(int(s), int(t)) <= without.upper_bound(
+                int(s), int(t)
+            )
+
+    def test_bp_coverage_at_least_plain(self, ba_graph):
+        """Figure 9's mechanism: BP sub-hubs raise FD's pair coverage."""
+        with_bp = FullyDynamicOracle(num_landmarks=6, use_bit_parallel=True).build(
+            ba_graph
+        )
+        without = FullyDynamicOracle(num_landmarks=6, use_bit_parallel=False).build(
+            ba_graph
+        )
+        pairs = sample_vertex_pairs(ba_graph, 150, seed=4)
+        cov_bp = sum(with_bp.is_covered(int(s), int(t)) for s, t in pairs)
+        cov_plain = sum(without.is_covered(int(s), int(t)) for s, t in pairs)
+        assert cov_bp >= cov_plain
+
+
+class TestFDReporting:
+    def test_als_display(self, ws_graph):
+        fd = FullyDynamicOracle(num_landmarks=5).build(ws_graph)
+        assert fd.als_display().startswith("5+")
+        assert fd.average_label_size() > 5
+
+    def test_size_bytes(self, ws_graph):
+        fd_bp = FullyDynamicOracle(num_landmarks=5, use_bit_parallel=True).build(ws_graph)
+        fd_plain = FullyDynamicOracle(num_landmarks=5, use_bit_parallel=False).build(
+            ws_graph
+        )
+        n = ws_graph.num_vertices
+        assert fd_plain.size_bytes() == 5 * n * 5
+        assert fd_bp.size_bytes() == 5 * n * 5 + 5 * n * 17
+
+    def test_budget_dnf(self, ba_graph):
+        with pytest.raises(ConstructionBudgetExceeded):
+            FullyDynamicOracle(num_landmarks=10, budget_s=1e-9).build(ba_graph)
+
+
+class TestFDDynamicUpdates:
+    def test_insert_edge_keeps_queries_exact(self, ws_graph):
+        fd = FullyDynamicOracle(num_landmarks=5).build(ws_graph)
+        n = ws_graph.num_vertices
+        # Insert a shortcut between two far-apart vertices.
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        u, v = 0, n // 2
+        if not ws_graph.has_edge(u, v):
+            fd.insert_edge(u, v)
+        new_graph = fd.graph
+        pairs = rng.integers(0, n, size=(80, 2))
+        for s, t in pairs:
+            truth = bfs_distances(new_graph, int(s))[int(t)]
+            expected = float(truth) if truth != UNREACHED else float("inf")
+            assert fd.query(int(s), int(t)) == expected
+
+    def test_insert_updates_spt_rows(self, ws_graph):
+        fd = FullyDynamicOracle(num_landmarks=4, use_bit_parallel=False).build(ws_graph)
+        assert fd.landmarks is not None and fd.spt is not None
+        u, v = 0, ws_graph.num_vertices // 2
+        if not ws_graph.has_edge(u, v):
+            fd.insert_edge(u, v)
+        for i, r in enumerate(fd.landmarks):
+            truth = bfs_distances(fd.graph, r)
+            import numpy as np
+
+            assert np.array_equal(fd.spt[i], truth)

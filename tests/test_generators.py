@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.connectivity import is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    copying_model_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    powerlaw_configuration_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_density(self):
+        g = barabasi_albert_graph(500, 3, seed=1)
+        assert g.num_vertices == 500
+        # Each vertex beyond the seed adds `attach` edges (some dedup).
+        assert 3 * 480 <= g.num_edges <= 3 * 500 + 10
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(200, 2, seed=2))
+
+    def test_deterministic_per_seed(self):
+        g1 = barabasi_albert_graph(100, 3, seed=7)
+        g2 = barabasi_albert_graph(100, 3, seed=7)
+        g3 = barabasi_albert_graph(100, 3, seed=8)
+        assert g1 == g2
+        assert g1 != g3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(2000, 3, seed=3)
+        degrees = g.degrees()
+        # Hubs exist: max degree far above the mean.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestErdosRenyi:
+    def test_average_degree(self):
+        g = erdos_renyi_graph(1000, 6.0, seed=4)
+        assert 4.5 <= g.degrees().mean() <= 6.5
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(0, 2.0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, seed=5)
+        assert g.num_edges == 40
+        assert all(d == 4 for d in g.degrees())
+
+    def test_rewire_preserves_edge_budget_approximately(self):
+        g = watts_strogatz_graph(200, 4, 0.3, seed=6)
+        # Rewiring can only merge duplicates, never add.
+        assert g.num_edges <= 400
+        assert g.num_edges >= 360
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(10, 4, 1.5)
+
+
+class TestCopyingModel:
+    def test_connected_and_sized(self):
+        g = copying_model_graph(300, 5, seed=7)
+        assert g.num_vertices == 300
+        assert is_connected(g)
+
+    def test_hub_concentration(self):
+        g = copying_model_graph(1000, 5, copy_prob=0.9, seed=8)
+        degrees = g.degrees()
+        # Copying concentrates in-links: extreme hubs emerge.
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            copying_model_graph(10, 0)
+        with pytest.raises(GraphError):
+            copying_model_graph(10, 2, copy_prob=2.0)
+
+
+class TestPowerlawConfiguration:
+    def test_degree_bounds(self):
+        g = powerlaw_configuration_graph(500, exponent=2.5, min_degree=2, seed=9)
+        assert g.num_vertices == 500
+        assert g.num_edges > 0
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration_graph(100, exponent=1.0)
+
+
+class TestDeterministicTopologies:
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_invalid_grid(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)

@@ -1,0 +1,89 @@
+"""Unit tests for the Graph façade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, VertexError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], name="p4")
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+        assert g.name == "p4"
+
+    def test_size_bytes_counts_both_directions(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        # 2 edges * 2 directions * 8 bytes, as in Table 1's caption.
+        assert g.size_bytes == 32
+
+    def test_from_edge_array(self):
+        arr = np.asarray([[0, 1], [1, 2]])
+        g = Graph.from_edge_array(3, arr)
+        assert g.num_edges == 2
+
+    def test_simple_graph_normalization(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 0), (0, 1)])
+        assert g.num_edges == 1
+
+
+class TestAccessors:
+    def test_degree_and_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_has_edge(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+
+    def test_edges_iterates_each_once(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+
+    def test_vertex_validation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(VertexError):
+            g.degree(3)
+        with pytest.raises(VertexError):
+            g.neighbors(-1)
+
+    def test_degrees_array(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.degrees().tolist() == [2, 1, 1]
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, old_ids = g.induced_subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert old_ids.tolist() == [1, 2, 3]
+
+    def test_induced_subgraph_out_of_range(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.induced_subgraph([0, 5])
+
+    def test_with_edges_added(self):
+        g = Graph(4, [(0, 1)])
+        g2 = g.with_edges_added([(2, 3)])
+        assert g.num_edges == 1  # immutable original
+        assert g2.num_edges == 2
+        assert g2.has_edge(2, 3)
+
+    def test_equality(self):
+        g1 = Graph(3, [(0, 1), (1, 2)])
+        g2 = Graph(3, [(1, 2), (0, 1)])
+        g3 = Graph(3, [(0, 1)])
+        assert g1 == g2
+        assert g1 != g3

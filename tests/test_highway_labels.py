@@ -1,0 +1,136 @@
+"""Unit tests for the Highway structure and the label store."""
+
+import numpy as np
+import pytest
+
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
+from repro.errors import LandmarkError, ReproError
+
+
+class TestHighway:
+    def test_basic_lookup(self):
+        matrix = np.asarray([[0.0, 2.0], [2.0, 0.0]])
+        h = Highway([4, 9], matrix)
+        assert h.num_landmarks == 2
+        assert h.distance(4, 9) == 2.0
+        assert h.distance(9, 4) == 2.0
+        assert h.distance(4, 4) == 0.0
+
+    def test_unknown_starts_inf(self):
+        h = Highway([1, 2, 3])
+        assert h.distance(1, 2) == float("inf")
+        assert h.distance(2, 2) == 0.0
+
+    def test_set_row_symmetric(self):
+        h = Highway([1, 2, 3])
+        h.set_row(2, np.asarray([4.0, 0.0, 7.0]))
+        assert h.distance(1, 2) == 4.0
+        assert h.distance(2, 3) == 7.0
+        assert h.distance(3, 2) == 7.0
+
+    def test_landmark_mask(self):
+        h = Highway([0, 3])
+        mask = h.landmark_mask(5)
+        assert mask.tolist() == [True, False, False, True, False]
+
+    def test_mask_rejects_out_of_range(self):
+        h = Highway([0, 10])
+        with pytest.raises(LandmarkError):
+            h.landmark_mask(5)
+
+    def test_is_landmark(self):
+        h = Highway([2, 5])
+        assert h.is_landmark(2)
+        assert not h.is_landmark(3)
+
+    def test_non_landmark_lookup_raises(self):
+        h = Highway([1, 2])
+        with pytest.raises(LandmarkError):
+            h.distance(1, 7)
+
+    def test_validation(self):
+        with pytest.raises(LandmarkError):
+            Highway([])
+        with pytest.raises(LandmarkError):
+            Highway([1, 1])
+        with pytest.raises(LandmarkError):
+            Highway([-1])
+        with pytest.raises(LandmarkError):
+            Highway([1, 2], np.zeros((3, 3)))
+        with pytest.raises(LandmarkError):
+            Highway([1, 2], np.asarray([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+        with pytest.raises(LandmarkError):
+            Highway([1, 2], np.asarray([[1.0, 2.0], [2.0, 0.0]]))  # bad diagonal
+
+    def test_size_bytes(self):
+        assert Highway([1, 2, 3]).size_bytes() == 9
+
+
+class TestLabelAccumulator:
+    def test_transpose_to_per_vertex(self):
+        acc = LabelAccumulator(num_vertices=4, num_landmarks=2)
+        acc.add_landmark_result(0, np.asarray([1, 2]), np.asarray([1, 2]))
+        acc.add_landmark_result(1, np.asarray([2, 3]), np.asarray([5, 1]))
+        labelling = acc.freeze()
+        assert labelling.size() == 4
+        assert list(labelling.label(1).entries()) == [(0, 1)]
+        assert list(labelling.label(2).entries()) == [(0, 2), (1, 5)]
+        assert list(labelling.label(3).entries()) == [(1, 1)]
+        assert labelling.label_size(0) == 0
+
+    def test_entries_sorted_by_landmark_regardless_of_fill_order(self):
+        acc = LabelAccumulator(num_vertices=2, num_landmarks=3)
+        acc.add_landmark_result(2, np.asarray([0]), np.asarray([3]))
+        acc.add_landmark_result(0, np.asarray([0]), np.asarray([1]))
+        acc.add_landmark_result(1, np.asarray([0]), np.asarray([2]))
+        labelling = acc.freeze()
+        assert list(labelling.label(0).entries()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_double_fill_rejected(self):
+        acc = LabelAccumulator(2, 1)
+        acc.add_landmark_result(0, np.asarray([0]), np.asarray([1]))
+        with pytest.raises(ReproError):
+            acc.add_landmark_result(0, np.asarray([1]), np.asarray([1]))
+
+    def test_missing_landmark_rejected(self):
+        acc = LabelAccumulator(2, 2)
+        acc.add_landmark_result(0, np.asarray([0]), np.asarray([1]))
+        with pytest.raises(ReproError):
+            acc.freeze()
+
+    def test_length_mismatch_rejected(self):
+        acc = LabelAccumulator(2, 1)
+        with pytest.raises(ReproError):
+            acc.add_landmark_result(0, np.asarray([0, 1]), np.asarray([1]))
+
+
+class TestHighwayCoverLabelling:
+    def _tiny(self):
+        acc = LabelAccumulator(3, 2)
+        acc.add_landmark_result(0, np.asarray([1]), np.asarray([4]))
+        acc.add_landmark_result(1, np.asarray([1, 2]), np.asarray([2, 3]))
+        return acc.freeze()
+
+    def test_average_label_size(self):
+        labelling = self._tiny()
+        assert labelling.average_label_size() == pytest.approx(3 / 3)
+
+    def test_label_arrays_views(self):
+        labelling = self._tiny()
+        idx, dist = labelling.label_arrays(1)
+        assert idx.tolist() == [0, 1]
+        assert dist.tolist() == [4, 2]
+
+    def test_equality(self):
+        assert self._tiny() == self._tiny()
+
+    def test_offset_validation(self):
+        with pytest.raises(ReproError):
+            HighwayCoverLabelling(
+                num_vertices=2,
+                num_landmarks=1,
+                offsets=np.asarray([0]),
+                landmark_indices=np.asarray([], dtype=np.int32),
+                distances=np.asarray([], dtype=np.int32),
+            )

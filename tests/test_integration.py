@@ -1,0 +1,98 @@
+"""Integration tests: all methods agree with each other end-to-end.
+
+These exercise the full stack (dataset surrogate -> landmark selection ->
+construction -> query) and cross-check every method against every other,
+which is stronger than checking each against BFS alone: a shared bug in
+the BFS oracle would still show up as cross-method disagreement with
+Dijkstra's independently coded control flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BiBFSOracle,
+    DijkstraOracle,
+    FullyDynamicOracle,
+    ISLabelOracle,
+    PrunedLandmarkLabelling,
+)
+from repro.core.query import HighwayCoverOracle
+from repro.datasets.registry import load_dataset
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    return load_dataset("Skitter", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def all_oracles(surrogate):
+    return {
+        "HL": HighwayCoverOracle(num_landmarks=10).build(surrogate),
+        "HL-P": HighwayCoverOracle(num_landmarks=10, parallel=True).build(surrogate),
+        "HL(8)": HighwayCoverOracle(num_landmarks=10, codec="u8").build(surrogate),
+        "FD": FullyDynamicOracle(num_landmarks=10).build(surrogate),
+        "PLL": PrunedLandmarkLabelling(bp_roots=2).build(surrogate),
+        "IS-L": ISLabelOracle(num_levels=4).build(surrogate),
+        "Bi-BFS": BiBFSOracle().build(surrogate),
+        "Dijkstra": DijkstraOracle().build(surrogate),
+    }
+
+
+class TestCrossMethodAgreement:
+    def test_every_method_agrees_on_sampled_pairs(self, surrogate, all_oracles):
+        pairs = sample_vertex_pairs(surrogate, 60, seed=17)
+        for s, t in pairs:
+            answers = {name: o.query(int(s), int(t)) for name, o in all_oracles.items()}
+            assert len(set(answers.values())) == 1, answers
+
+    def test_landmark_pairs_agree(self, surrogate, all_oracles):
+        hl = all_oracles["HL"]
+        landmarks = list(hl.highway.landmarks)[:4]
+        for s in landmarks:
+            for t in landmarks:
+                answers = {
+                    name: o.query(int(s), int(t)) for name, o in all_oracles.items()
+                }
+                assert len(set(answers.values())) == 1, answers
+
+
+class TestIndexSizeOrdering:
+    def test_paper_headline_ordering(self, all_oracles):
+        """size(HL(8)) < size(HL) < size(FD) — Table 3's shape."""
+        assert (
+            all_oracles["HL(8)"].size_bytes()
+            < all_oracles["HL"].size_bytes()
+            < all_oracles["FD"].size_bytes()
+        )
+
+    def test_hl_als_below_fd(self, all_oracles):
+        assert (
+            all_oracles["HL"].average_label_size()
+            < all_oracles["FD"].average_label_size()
+        )
+
+
+class TestCoverageOrdering:
+    def test_fd_coverage_at_least_hl_minus_noise(self, surrogate, all_oracles):
+        """Figure 9: FD's BP sub-hubs give it >= coverage vs plain HL."""
+        pairs = sample_vertex_pairs(surrogate, 100, seed=23)
+        hl, fd = all_oracles["HL"], all_oracles["FD"]
+        hl_cov = sum(hl.is_covered(int(s), int(t)) for s, t in pairs)
+        fd_cov = sum(fd.is_covered(int(s), int(t)) for s, t in pairs)
+        assert fd_cov >= hl_cov
+
+
+class TestDynamicConsistency:
+    def test_fd_insertion_then_all_methods_rebuilt_agree(self, surrogate):
+        fd = FullyDynamicOracle(num_landmarks=6).build(surrogate)
+        u, v = 1, surrogate.num_vertices - 2
+        if not surrogate.has_edge(u, v):
+            fd.insert_edge(u, v)
+        updated = fd.graph
+        hl = HighwayCoverOracle(num_landmarks=6).build(updated)
+        pairs = sample_vertex_pairs(updated, 40, seed=29)
+        for s, t in pairs:
+            assert fd.query(int(s), int(t)) == hl.query(int(s), int(t))

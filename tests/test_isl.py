@@ -1,0 +1,91 @@
+"""Tests for the IS-Label baseline (independent-set hierarchy)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.isl import ISLabelOracle
+from repro.errors import ConstructionBudgetExceeded, NotBuiltError
+from repro.graphs.generators import grid_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+class TestISLExactness:
+    @pytest.mark.parametrize("levels", [1, 3, 6])
+    def test_matches_bfs_scale_free(self, ba_graph, levels):
+        isl = ISLabelOracle(num_levels=levels).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 150, seed=1)
+        for s, t in pairs:
+            truth = bfs_distances(ba_graph, int(s))[int(t)]
+            assert isl.query(int(s), int(t)) == float(truth)
+
+    def test_matches_bfs_grid(self):
+        """Grids peel almost entirely into the hierarchy (small core)."""
+        g = grid_graph(6, 6)
+        isl = ISLabelOracle(num_levels=6).build(g)
+        for s in range(0, 36, 5):
+            truth = bfs_distances(g, s)
+            for t in range(0, 36, 7):
+                assert isl.query(s, t) == float(truth[t])
+
+    def test_path_graph_fully_peeled(self):
+        g = path_graph(20)
+        isl = ISLabelOracle(num_levels=10).build(g)
+        assert isl.query(0, 19) == 19.0
+        assert isl.query(3, 3) == 0.0
+
+    def test_disconnected(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        isl = ISLabelOracle(num_levels=3).build(g)
+        assert isl.query(0, 4) == float("inf")
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotBuiltError):
+            ISLabelOracle().query(0, 1)
+
+
+class TestISLStructure:
+    def test_levels_are_assigned(self, ba_graph):
+        isl = ISLabelOracle(num_levels=4).build(ba_graph)
+        assert isl.level_of is not None
+        assert int(isl.level_of.min()) >= 0
+        assert int(isl.level_of.max()) == 4  # core level
+
+    def test_labels_point_upward(self, ba_graph):
+        """Removal-time neighbours always live at strictly higher levels."""
+        isl = ISLabelOracle(num_levels=4).build(ba_graph)
+        assert isl.labels is not None and isl.level_of is not None
+        for v in range(ba_graph.num_vertices):
+            for parent, weight in isl.labels[v]:
+                assert isl.level_of[parent] > isl.level_of[v]
+                assert weight >= 1.0
+
+    def test_independent_set_property(self, ba_graph):
+        """No two vertices removed at the same level are adjacent in the
+        level's working graph — verified for level 0 on the input graph."""
+        isl = ISLabelOracle(num_levels=4).build(ba_graph)
+        level0 = np.flatnonzero(isl.level_of == 0)
+        level0_set = set(int(v) for v in level0)
+        for v in level0_set:
+            for u in ba_graph.neighbors(v):
+                assert int(u) not in level0_set
+
+    def test_core_adjacency_symmetric(self, ws_graph):
+        isl = ISLabelOracle(num_levels=3).build(ws_graph)
+        assert isl.core_adj is not None
+        for u, edges in isl.core_adj.items():
+            for v, w in edges:
+                assert (u, w) in [(x, wx) for x, wx in isl.core_adj[v]] or any(
+                    x == u and wx == w for x, wx in isl.core_adj[v]
+                )
+
+    def test_budget_dnf(self, ba_graph):
+        with pytest.raises(ConstructionBudgetExceeded):
+            ISLabelOracle(budget_s=1e-9).build(ba_graph)
+
+    def test_size_reporting(self, ws_graph):
+        isl = ISLabelOracle(num_levels=3).build(ws_graph)
+        assert isl.labelling_size() > 0
+        assert isl.size_bytes() == isl.labelling_size() * 8
+        assert isl.average_label_size() > 0

@@ -1,0 +1,61 @@
+"""Tests for landmark selection strategies."""
+
+import pytest
+
+from repro.errors import LandmarkError
+from repro.graphs.generators import star_graph
+from repro.landmarks.selection import STRATEGIES, select_landmarks, top_degree_landmarks
+
+
+class TestTopDegree:
+    def test_star_centre_first(self):
+        g = star_graph(10)
+        assert top_degree_landmarks(g, 1) == [0]
+
+    def test_ties_broken_by_id(self):
+        g = star_graph(10)
+        # All leaves have degree 1; ties resolve to smaller ids.
+        assert top_degree_landmarks(g, 3) == [0, 1, 2]
+
+    def test_matches_paper_setup(self, ba_graph):
+        """Top-k by decreasing degree, k=20 in the paper's experiments."""
+        picks = top_degree_landmarks(ba_graph, 20)
+        degrees = ba_graph.degrees()
+        cutoff = sorted(degrees, reverse=True)[19]
+        assert all(degrees[v] >= cutoff for v in picks)
+        assert len(set(picks)) == 20
+
+
+class TestSelectLandmarks:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_all_strategies_return_k_distinct_vertices(self, ba_graph, strategy):
+        picks = select_landmarks(ba_graph, 7, strategy=strategy, seed=1)
+        assert len(picks) == 7
+        assert len(set(picks)) == 7
+        assert all(0 <= v < ba_graph.num_vertices for v in picks)
+
+    @pytest.mark.parametrize("strategy", ["random", "closeness", "betweenness"])
+    def test_seed_determinism(self, ba_graph, strategy):
+        a = select_landmarks(ba_graph, 5, strategy=strategy, seed=9)
+        b = select_landmarks(ba_graph, 5, strategy=strategy, seed=9)
+        assert a == b
+
+    def test_degree_spread_avoids_adjacent_hubs(self, ba_graph):
+        picks = select_landmarks(ba_graph, 5, strategy="degree_spread")
+        for i, u in enumerate(picks):
+            for v in picks[i + 1 :]:
+                assert not ba_graph.has_edge(u, v)
+
+    def test_invalid_k(self, ba_graph):
+        with pytest.raises(LandmarkError):
+            select_landmarks(ba_graph, 0)
+        with pytest.raises(LandmarkError):
+            select_landmarks(ba_graph, ba_graph.num_vertices + 1)
+
+    def test_unknown_strategy(self, ba_graph):
+        with pytest.raises(LandmarkError):
+            select_landmarks(ba_graph, 3, strategy="psychic")
+
+    def test_k_equals_n(self):
+        g = star_graph(4)
+        assert sorted(select_landmarks(g, 4)) == [0, 1, 2, 3]

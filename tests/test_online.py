@@ -1,0 +1,31 @@
+"""Tests for the online (index-free) oracles."""
+
+import pytest
+
+from repro.baselines.interface import DistanceOracle
+from repro.baselines.online import BFSOracle, BiBFSOracle, DijkstraOracle
+from repro.errors import NotBuiltError
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.search.bfs import bfs_distances
+
+
+@pytest.mark.parametrize("factory", [BFSOracle, BiBFSOracle, DijkstraOracle])
+class TestOnlineOracles:
+    def test_protocol_conformance(self, factory):
+        assert isinstance(factory(), DistanceOracle)
+
+    def test_matches_bfs(self, factory, ba_graph):
+        oracle = factory().build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 80, seed=1)
+        for s, t in pairs:
+            truth = bfs_distances(ba_graph, int(s))[int(t)]
+            assert oracle.query(int(s), int(t)) == float(truth)
+
+    def test_zero_index_size(self, factory, ws_graph):
+        oracle = factory().build(ws_graph)
+        assert oracle.size_bytes() == 0
+        assert oracle.average_label_size() == 0.0
+
+    def test_unbuilt_raises(self, factory):
+        with pytest.raises(NotBuiltError):
+            factory().query(0, 1)

@@ -1,0 +1,142 @@
+"""The paper's running example as executable assertions (Figures 2-5).
+
+These tests pin the reproduction to the paper's own worked numbers:
+Figure 2(c)'s labels, Figure 3's labelling size, Example 3.5's analysis of
+vertex 7, Example 4.2's upper bound and Example 4.3's bounded search.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import upper_bound_distance, upper_bound_with_witness
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.query import HighwayCoverOracle
+from repro.core.verification import is_highway_cover, is_hwc_minimal
+from repro.datasets.example_graph import (
+    EXAMPLE_LABELS,
+    EXAMPLE_LANDMARKS,
+    paper_example_graph,
+)
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.search.bfs import bfs_distances
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = paper_example_graph()
+    labelling, highway = build_highway_cover_labelling(graph, EXAMPLE_LANDMARKS)
+    return graph, labelling, highway
+
+
+class TestFigure2:
+    def test_labels_match_figure_2c(self, built):
+        graph, labelling, _ = built
+        got = {}
+        for v in range(graph.num_vertices):
+            idx, dist = labelling.label_arrays(v)
+            if len(idx):
+                got[v] = sorted(
+                    (EXAMPLE_LANDMARKS[i], int(d)) for i, d in zip(idx, dist)
+                )
+        assert got == EXAMPLE_LABELS
+
+    def test_labelling_size_is_13(self, built):
+        """Figure 3 reports LS = 13 for the highway cover labelling."""
+        _, labelling, _ = built
+        assert labelling.size() == 13
+
+    def test_highway_distances(self, built):
+        _, _, highway = built
+        assert highway.distance(1, 5) == 1.0
+        assert highway.distance(1, 9) == 1.0
+        assert highway.distance(5, 9) == 2.0
+
+    def test_properties_hold(self, built):
+        graph, labelling, highway = built
+        assert is_highway_cover(graph, labelling, highway)
+        assert is_hwc_minimal(graph, labelling, highway)
+
+
+class TestExample35:
+    """Vertex 7 is labelled by 5 (distance 2) and 9 (distance 1), not 1."""
+
+    def test_vertex_7_label(self, built):
+        _, labelling, _ = built
+        idx, dist = labelling.label_arrays(7)
+        entries = sorted((EXAMPLE_LANDMARKS[i], int(d)) for i, d in zip(idx, dist))
+        assert entries == [(5, 2), (9, 1)]
+
+    def test_landmark_1_excluded_because_closer_landmarks_intervene(self, built):
+        graph, _, _ = built
+        # d(1, 7) = 2, but every shortest path passes landmark 9 or 5.
+        assert bfs_distances(graph, 1)[7] == 2
+        for mid in graph.neighbors(7):
+            mid = int(mid)
+            if bfs_distances(graph, 1)[mid] == 1 and graph.has_edge(1, mid):
+                assert mid in (5, 9)
+
+
+class TestExample42:
+    def test_upper_bound_between_2_and_11(self, built):
+        """Paper: via (5, 1) the bound is 1+1+1 = 3; via (9, 1) it is 4."""
+        _, labelling, highway = built
+        bound, ri, rj = upper_bound_with_witness(labelling, highway, 2, 11)
+        assert bound == 3.0
+        assert EXAMPLE_LANDMARKS[ri] == 5
+        assert EXAMPLE_LANDMARKS[rj] == 1
+
+    def test_alternative_route_is_4(self, built):
+        _, labelling, highway = built
+        # Path through landmarks 9 then 1: 2 + 1 + 1.
+        i9 = EXAMPLE_LANDMARKS.index(9)
+        i1 = EXAMPLE_LANDMARKS.index(1)
+        idx2, dist2 = labelling.label_arrays(2)
+        idx11, dist11 = labelling.label_arrays(11)
+        d_9_2 = int(dist2[list(idx2).index(i9)])
+        d_1_11 = int(dist11[list(idx11).index(i1)])
+        assert d_9_2 + highway.matrix[i9, i1] + d_1_11 == 4.0
+
+
+class TestExample43:
+    def test_exact_distance_2_to_11_is_3(self):
+        graph = paper_example_graph()
+        oracle = HighwayCoverOracle(landmarks=EXAMPLE_LANDMARKS).build(graph)
+        assert oracle.query(2, 11) == 3.0
+
+    def test_oracle_exact_on_all_pairs(self):
+        graph = paper_example_graph()
+        oracle = HighwayCoverOracle(landmarks=EXAMPLE_LANDMARKS).build(graph)
+        for s in range(1, 15):
+            truth = bfs_distances(graph, s)
+            for t in range(1, 15):
+                assert oracle.query(s, t) == float(truth[t])
+
+
+class TestFigure4PLLContrast:
+    def test_pll_is_order_dependent_hl_is_not(self):
+        """Example 3.10: PLL sizes differ across orders; HL's never do."""
+        graph = paper_example_graph()
+        rest = [v for v in range(graph.num_vertices) if v not in (1, 5, 9)]
+        pll_a = PrunedLandmarkLabelling(order=[1, 5, 9] + rest).build(graph)
+        pll_b = PrunedLandmarkLabelling(order=[9, 5, 1] + rest).build(graph)
+        assert pll_a.labelling_size() != pll_b.labelling_size()
+
+        hl_a, _ = build_highway_cover_labelling(graph, [1, 5, 9])
+        hl_b, _ = build_highway_cover_labelling(graph, [9, 5, 1])
+        assert hl_a.size() == hl_b.size() == 13
+
+    def test_corollary_3_14_on_example(self):
+        """HL's 13 entries beat PLL's landmark-contributed entries."""
+        graph = paper_example_graph()
+        rest = [v for v in range(graph.num_vertices) if v not in (1, 5, 9)]
+        for order in ([1, 5, 9], [9, 5, 1]):
+            pll = PrunedLandmarkLabelling(order=order + rest).build(graph)
+            assert pll.labels is not None
+            landmark_entries = sum(
+                1
+                for v in range(graph.num_vertices)
+                if v not in (1, 5, 9)
+                for rank, _ in pll.labels[v]
+                if rank < 3
+            )
+            assert landmark_entries >= 13

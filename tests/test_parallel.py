@@ -1,0 +1,49 @@
+"""Tests for HL-P: the parallel builder must reproduce the sequential labels."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.parallel import build_highway_cover_labelling_parallel
+from repro.errors import ConstructionBudgetExceeded, LandmarkError
+from repro.landmarks.selection import select_landmarks
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_identical_to_sequential(self, ba_graph, backend):
+        """Lemma 3.11 in executable form: HL-P output == HL output."""
+        landmarks = select_landmarks(ba_graph, 8)
+        seq_labels, seq_highway = build_highway_cover_labelling(ba_graph, landmarks)
+        par_labels, par_highway = build_highway_cover_labelling_parallel(
+            ba_graph, landmarks, backend=backend, workers=4
+        )
+        assert seq_labels == par_labels
+        assert np.array_equal(seq_highway.matrix, par_highway.matrix)
+
+    def test_single_worker(self, ws_graph):
+        landmarks = select_landmarks(ws_graph, 5)
+        seq, _ = build_highway_cover_labelling(ws_graph, landmarks)
+        par, _ = build_highway_cover_labelling_parallel(ws_graph, landmarks, workers=1)
+        assert seq == par
+
+    def test_more_workers_than_landmarks(self, ws_graph):
+        landmarks = select_landmarks(ws_graph, 2)
+        seq, _ = build_highway_cover_labelling(ws_graph, landmarks)
+        par, _ = build_highway_cover_labelling_parallel(ws_graph, landmarks, workers=16)
+        assert seq == par
+
+    def test_empty_landmarks_rejected(self, ws_graph):
+        with pytest.raises(LandmarkError):
+            build_highway_cover_labelling_parallel(ws_graph, [])
+
+    def test_unknown_backend_rejected(self, ws_graph):
+        with pytest.raises(ValueError):
+            build_highway_cover_labelling_parallel(ws_graph, [0], backend="gpu")
+
+    def test_budget_enforced(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 10)
+        with pytest.raises(ConstructionBudgetExceeded):
+            build_highway_cover_labelling_parallel(
+                ba_graph, landmarks, budget_s=1e-9
+            )

@@ -1,0 +1,73 @@
+"""Tests for shortest-path reconstruction on top of the HL oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.paths import shortest_path
+from repro.core.query import HighwayCoverOracle
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+def _is_valid_path(graph, path, s, t):
+    if path[0] != s or path[-1] != t:
+        return False
+    for a, b in zip(path, path[1:]):
+        if not graph.has_edge(a, b):
+            return False
+    return len(set(path)) == len(path)  # simple path
+
+
+class TestPathReconstruction:
+    def test_paths_realize_exact_distances(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 120, seed=9)
+        for s, t in pairs:
+            s, t = int(s), int(t)
+            path = shortest_path(oracle, s, t)
+            assert path is not None
+            assert _is_valid_path(ba_graph, path, s, t)
+            assert len(path) - 1 == oracle.query(s, t)
+
+    def test_grid_paths(self):
+        g = grid_graph(6, 6)
+        oracle = HighwayCoverOracle(num_landmarks=4).build(g)
+        for s, t in [(0, 35), (5, 30), (7, 28)]:
+            path = shortest_path(oracle, s, t)
+            assert _is_valid_path(g, path, s, t)
+            assert len(path) - 1 == oracle.query(s, t)
+
+    def test_landmark_endpoints(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=6).build(ba_graph)
+        r = int(oracle.highway.landmarks[0])
+        for t in [10, 100, 250]:
+            path = shortest_path(oracle, r, t)
+            assert _is_valid_path(ba_graph, path, r, t)
+            assert len(path) - 1 == oracle.query(r, t)
+
+    def test_same_vertex(self, ba_graph):
+        oracle = HighwayCoverOracle(num_landmarks=4).build(ba_graph)
+        assert shortest_path(oracle, 5, 5) == [5]
+
+    def test_adjacent_vertices(self):
+        g = path_graph(4)
+        oracle = HighwayCoverOracle(num_landmarks=1).build(g)
+        assert shortest_path(oracle, 1, 2) == [1, 2]
+
+    def test_disconnected_returns_none(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        oracle = HighwayCoverOracle(num_landmarks=2).build(g)
+        assert shortest_path(oracle, 0, 5) is None
+
+    def test_star_through_landmark_centre(self):
+        g = star_graph(12)
+        oracle = HighwayCoverOracle(num_landmarks=1).build(g)  # centre
+        path = shortest_path(oracle, 3, 9)
+        assert path == [3, 0, 9]
+
+    def test_paper_example_path(self, example_graph):
+        oracle = HighwayCoverOracle(landmarks=[1, 5, 9]).build(example_graph)
+        path = shortest_path(oracle, 2, 11)
+        assert _is_valid_path(example_graph, path, 2, 11)
+        assert len(path) - 1 == 3  # Example 4.3's exact distance

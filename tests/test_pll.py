@@ -1,0 +1,121 @@
+"""Tests for the PLL baseline (pruned landmark labelling)."""
+
+import pytest
+
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.core.construction import build_highway_cover_labelling
+from repro.errors import ConstructionBudgetExceeded, NotBuiltError
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.landmarks.selection import select_landmarks
+from repro.search.bfs import UNREACHED, bfs_distances
+
+
+class TestPLLExactness:
+    def test_matches_bfs(self, ba_graph):
+        pll = PrunedLandmarkLabelling().build(ba_graph)
+        pairs = sample_vertex_pairs(ba_graph, 200, seed=1)
+        for s, t in pairs:
+            truth = bfs_distances(ba_graph, int(s))[int(t)]
+            assert pll.query(int(s), int(t)) == float(truth)
+
+    def test_with_bit_parallel_roots(self, ws_graph):
+        pll = PrunedLandmarkLabelling(bp_roots=4).build(ws_graph)
+        pairs = sample_vertex_pairs(ws_graph, 150, seed=2)
+        for s, t in pairs:
+            truth = bfs_distances(ws_graph, int(s))[int(t)]
+            assert pll.query(int(s), int(t)) == float(truth)
+
+    def test_same_vertex(self, ba_graph):
+        pll = PrunedLandmarkLabelling().build(ba_graph)
+        assert pll.query(3, 3) == 0.0
+
+    def test_disconnected(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(4, [(0, 1), (2, 3)])
+        pll = PrunedLandmarkLabelling().build(g)
+        assert pll.query(0, 2) == float("inf")
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotBuiltError):
+            PrunedLandmarkLabelling().query(0, 1)
+
+
+class TestPLLProperties:
+    def test_order_dependence_example_3_10(self, example_graph):
+        """Different landmark orders produce different labelling sizes."""
+        rest = [v for v in range(example_graph.num_vertices) if v not in (1, 5, 9)]
+        size_a = (
+            PrunedLandmarkLabelling(order=[1, 5, 9] + rest)
+            .build(example_graph)
+            .labelling_size()
+        )
+        size_b = (
+            PrunedLandmarkLabelling(order=[9, 5, 1] + rest)
+            .build(example_graph)
+            .labelling_size()
+        )
+        assert size_a != size_b
+
+    def test_hl_labelling_far_smaller_than_full_pll(self, ba_graph):
+        """The size gap Tables 2-3 report: HL entries << full PLL entries.
+
+        Note on Corollary 3.14: the paper's claim that HL is no larger
+        than PLL *restricted to the same landmarks* relies on shortest
+        paths being unique. With multiple shortest paths (ubiquitous in
+        complex networks), PLL prunes an entry when *some* shortest path
+        passes an earlier landmark, while Algorithm 1 only prunes when
+        *every* shortest path is blocked — so the restricted comparison
+        can go either way (a diamond graph is a counterexample). What the
+        paper's evaluation actually measures, and what we assert, is HL
+        against the full PLL index over all vertex roots.
+        """
+        landmarks = select_landmarks(ba_graph, 8)
+        hl_labels, _ = build_highway_cover_labelling(ba_graph, landmarks)
+        pll = PrunedLandmarkLabelling().build(ba_graph)
+        assert hl_labels.size() < pll.labelling_size()
+
+    def test_corollary_3_14_unique_shortest_paths(self):
+        """On a tree, shortest paths are unique and Corollary 3.14 holds."""
+        from repro.graphs.generators import path_graph
+
+        g = path_graph(30)
+        landmarks = [5, 15, 25]
+        hl_labels, _ = build_highway_cover_labelling(g, landmarks)
+        rest = [v for v in range(30) if v not in landmarks]
+        pll = PrunedLandmarkLabelling(order=landmarks + rest).build(g)
+        assert pll.labels is not None
+        pll_landmark_entries = sum(
+            1
+            for v in range(30)
+            if v not in landmarks
+            for rank, _ in pll.labels[v]
+            if rank < 3
+        )
+        assert hl_labels.size() <= pll_landmark_entries
+
+    def test_degree_order_is_default(self, ba_graph):
+        pll = PrunedLandmarkLabelling().build(ba_graph)
+        degrees = ba_graph.degrees()
+        assert degrees[pll._order[0]] == degrees.max()
+
+    def test_budget_dnf(self, ba_graph):
+        with pytest.raises(ConstructionBudgetExceeded):
+            PrunedLandmarkLabelling(budget_s=1e-9).build(ba_graph)
+
+    def test_size_reporting(self, ws_graph):
+        pll = PrunedLandmarkLabelling().build(ws_graph)
+        assert pll.labelling_size() > 0
+        assert pll.size_bytes() == pll.labelling_size() * 5
+        assert pll.average_label_size() == pytest.approx(
+            pll.labelling_size() / ws_graph.num_vertices
+        )
+
+    def test_bp_roots_add_bytes(self, ws_graph):
+        plain = PrunedLandmarkLabelling().build(ws_graph)
+        bp = PrunedLandmarkLabelling(bp_roots=4).build(ws_graph)
+        assert bp.size_bytes() > 0
+        assert bp.bp_labels is not None
+        assert bp.bp_labels.num_roots == 4
+        # BP pruning can only shrink the normal labelling.
+        assert bp.labelling_size() <= plain.labelling_size()

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random graphs are generated from hypothesis-drawn edge lists; every
+invariant the paper proves is checked against a brute-force oracle:
+
+* HL queries equal BFS distances (Theorem 4.6);
+* labels match the Lemma 3.7 entry characterization (minimality);
+* labels are landmark-order independent (Lemma 3.11);
+* upper bounds are admissible (Lemma 4.4);
+* all baselines agree with BFS on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fd import FullyDynamicOracle
+from repro.baselines.isl import ISLabelOracle
+from repro.baselines.pll import PrunedLandmarkLabelling
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.query import HighwayCoverOracle
+from repro.core.verification import labelling_entry_set, reference_minimal_entries
+from repro.graphs.graph import Graph
+from repro.search.bfs import UNREACHED, bfs_distances
+from repro.search.bidirectional import bidirectional_bfs_distance
+from repro.search.bounded import bounded_bidirectional_distance
+
+
+@st.composite
+def random_graphs(draw, min_vertices=2, max_vertices=40):
+    """A random simple graph with at least one edge."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    max_edges = min(n * (n - 1) // 2, 4 * n)
+    num_edges = draw(st.integers(1, max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return Graph(n, edges)
+
+
+@st.composite
+def graphs_with_landmarks(draw):
+    graph = draw(random_graphs())
+    k = draw(st.integers(1, min(6, graph.num_vertices)))
+    landmarks = draw(
+        st.lists(
+            st.integers(0, graph.num_vertices - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return graph, landmarks
+
+
+def _truth(graph, s, t):
+    d = bfs_distances(graph, s)[t]
+    return float(d) if d != UNREACHED else float("inf")
+
+
+@given(graphs_with_landmarks(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_hl_query_equals_bfs(graph_landmarks, data):
+    graph, landmarks = graph_landmarks
+    oracle = HighwayCoverOracle(landmarks=landmarks).build(graph)
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert oracle.query(s, t) == _truth(graph, s, t)
+
+
+@given(graphs_with_landmarks())
+@settings(max_examples=40, deadline=None)
+def test_labels_match_lemma_3_7_oracle(graph_landmarks):
+    graph, landmarks = graph_landmarks
+    labelling, highway = build_highway_cover_labelling(graph, landmarks)
+    assert labelling_entry_set(labelling) == reference_minimal_entries(graph, highway)
+
+
+@given(graphs_with_landmarks(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_order_independence(graph_landmarks, rnd):
+    graph, landmarks = graph_landmarks
+    shuffled = list(landmarks)
+    rnd.shuffle(shuffled)
+    base, _ = build_highway_cover_labelling(graph, landmarks)
+    # Map entries back to landmark vertex ids for comparison.
+    perm, _ = build_highway_cover_labelling(graph, shuffled)
+    for v in range(graph.num_vertices):
+        base_entries = {(landmarks[i], d) for i, d in base.label(v).entries()}
+        perm_entries = {(shuffled[i], d) for i, d in perm.label(v).entries()}
+        assert base_entries == perm_entries
+
+
+@given(graphs_with_landmarks(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_upper_bound_admissible(graph_landmarks, data):
+    graph, landmarks = graph_landmarks
+    oracle = HighwayCoverOracle(landmarks=landmarks).build(graph)
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert oracle.upper_bound(s, t) >= _truth(graph, s, t)
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_bidirectional_bfs_equals_bfs(graph, data):
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert bidirectional_bfs_distance(graph, s, t) == _truth(graph, s, t)
+
+
+@given(random_graphs(), st.data(), st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_bounded_search_definition_4_1(graph, data, slack):
+    """Bounded search returns min(d_G'(s,t), bound) for admissible bounds."""
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    truth = _truth(graph, s, t)
+    if s == t:
+        return
+    bound = truth + slack if truth != float("inf") else float("inf")
+    if bound <= 0:
+        return
+    assert bounded_bidirectional_distance(graph, s, t, bound) == truth
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_pll_equals_bfs(graph, data):
+    pll = PrunedLandmarkLabelling().build(graph)
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert pll.query(s, t) == _truth(graph, s, t)
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_fd_equals_bfs(graph, data):
+    k = min(4, graph.num_vertices)
+    fd = FullyDynamicOracle(num_landmarks=k).build(graph)
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert fd.query(s, t) == _truth(graph, s, t)
+
+
+@given(random_graphs(), st.data())
+@settings(max_examples=30, deadline=None)
+def test_isl_equals_bfs(graph, data):
+    isl = ISLabelOracle(num_levels=3).build(graph)
+    s = data.draw(st.integers(0, graph.num_vertices - 1))
+    t = data.draw(st.integers(0, graph.num_vertices - 1))
+    assert isl.query(s, t) == _truth(graph, s, t)
+
+
+@given(random_graphs())
+@settings(max_examples=30, deadline=None)
+def test_hl_size_at_most_full_pll(graph):
+    """The measured form of the paper's size claim: HL entries never
+    exceed the full PLL index (all vertices as roots).
+
+    (Corollary 3.14's restricted-to-landmarks comparison assumes unique
+    shortest paths — see tests/test_pll.py for details — so the property
+    test checks the robust full-index version.)
+    """
+    k = min(4, graph.num_vertices)
+    degrees = graph.degrees()
+    landmarks = [int(v) for v in np.argsort(-degrees, kind="stable")[:k]]
+    hl, _ = build_highway_cover_labelling(graph, landmarks)
+    pll = PrunedLandmarkLabelling().build(graph)
+    assert hl.size() <= pll.labelling_size()

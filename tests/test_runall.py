@@ -1,0 +1,35 @@
+"""Tests for the run-all report driver."""
+
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.runall import run_all
+
+
+class TestRunAll:
+    def test_generates_all_sections(self, tmp_path):
+        config = ExperimentConfig(
+            scale=0.03,
+            num_landmarks=5,
+            num_query_pairs=15,
+            num_online_pairs=5,
+            construction_budget_s=30,
+            datasets=["Skitter", "LiveJournal"],
+        )
+        output = tmp_path / "report.md"
+        report = run_all(config, output=output)
+        assert output.exists()
+        assert output.read_text() == report
+        for heading in [
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Figure 1",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Figure 9",
+        ]:
+            assert heading in report
+        # Regeneration timings are recorded per section.
+        assert report.count("regenerated in") == 8

@@ -1,0 +1,169 @@
+"""Unit tests for the search engines (BFS, Dijkstra, Bi-BFS, bounded)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.search.bfs import (
+    UNREACHED,
+    bfs_distance,
+    bfs_distances,
+    bfs_levels,
+    eccentricity,
+    multi_source_bfs_distances,
+)
+from repro.search.bidirectional import bidirectional_bfs_distance
+from repro.search.bounded import bounded_bidirectional_distance
+from repro.search.dijkstra import dijkstra_distance, dijkstra_distances, dijkstra_weighted
+
+
+class TestBFS:
+    def test_path_graph_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] == UNREACHED
+        assert dist[3] == UNREACHED
+
+    def test_excluded_vertices_block_paths(self):
+        g = path_graph(5)
+        excluded = np.zeros(5, dtype=bool)
+        excluded[2] = True
+        dist = bfs_distances(g, 0, excluded=excluded)
+        assert dist[1] == 1
+        assert dist[3] == UNREACHED
+
+    def test_point_query_matches_full_sweep(self, ba_graph):
+        dist = bfs_distances(ba_graph, 7)
+        for t in [0, 50, 150, 299]:
+            expected = float(dist[t]) if dist[t] != UNREACHED else float("inf")
+            assert bfs_distance(ba_graph, 7, t) == expected
+
+    def test_same_vertex(self, ba_graph):
+        assert bfs_distance(ba_graph, 5, 5) == 0.0
+
+    def test_levels_partition_reachable_set(self, ws_graph):
+        seen = set()
+        for level, frontier in bfs_levels(ws_graph, 0):
+            for v in frontier:
+                assert v not in seen
+                seen.add(int(v))
+        dist = bfs_distances(ws_graph, 0)
+        assert len(seen) == int((dist != UNREACHED).sum())
+
+    def test_eccentricity_of_path_end(self):
+        assert eccentricity(path_graph(6), 0) == 5
+
+    def test_multi_source(self):
+        g = path_graph(7)
+        dist = multi_source_bfs_distances(g, [0, 6])
+        assert dist.tolist() == [0, 1, 2, 3, 2, 1, 0]
+
+
+class TestDijkstra:
+    def test_matches_bfs_on_unit_weights(self, ba_graph):
+        bfs = bfs_distances(ba_graph, 3).astype(float)
+        bfs[bfs == UNREACHED] = np.inf
+        dij = dijkstra_distances(ba_graph, 3)
+        assert np.array_equal(bfs, dij)
+
+    def test_point_to_point(self):
+        g = path_graph(5)
+        assert dijkstra_distance(g, 0, 4) == 4.0
+        assert dijkstra_distance(g, 2, 2) == 0.0
+
+    def test_disconnected_is_inf(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert dijkstra_distance(g, 0, 3) == float("inf")
+
+    def test_weighted_adjacency(self):
+        adjacency = {0: [(1, 2.0), (2, 5.0)], 1: [(2, 1.0)], 2: []}
+        settled = dijkstra_weighted(adjacency, 0)
+        assert settled == {0: 0.0, 1: 2.0, 2: 3.0}
+
+    def test_weighted_early_exit(self):
+        adjacency = {0: [(1, 1.0)], 1: [(2, 1.0)], 2: [(3, 1.0)], 3: []}
+        settled = dijkstra_weighted(adjacency, 0, targets={1})
+        assert settled[1] == 1.0
+        assert 3 not in settled
+
+
+class TestBidirectional:
+    def test_matches_bfs(self, ba_graph):
+        dist = bfs_distances(ba_graph, 11)
+        for t in [0, 10, 100, 299]:
+            expected = float(dist[t]) if dist[t] != UNREACHED else float("inf")
+            assert bidirectional_bfs_distance(ba_graph, 11, t) == expected
+
+    def test_grid_long_distances(self):
+        g = grid_graph(6, 6)
+        assert bidirectional_bfs_distance(g, 0, 35) == 10.0
+
+    def test_adjacent(self):
+        g = path_graph(3)
+        assert bidirectional_bfs_distance(g, 0, 1) == 1.0
+
+    def test_disconnected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert bidirectional_bfs_distance(g, 0, 2) == float("inf")
+
+    def test_star_center(self):
+        g = star_graph(10)
+        assert bidirectional_bfs_distance(g, 1, 2) == 2.0
+
+    def test_excluded_vertex_forces_detour(self):
+        # 0-1-2 and 0-3-4-2: cutting 1 forces the long way.
+        g = Graph(5, [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)])
+        excluded = np.zeros(5, dtype=bool)
+        excluded[1] = True
+        assert bidirectional_bfs_distance(g, 0, 2, excluded=excluded) == 3.0
+
+
+class TestBoundedSearch:
+    def test_exact_when_bound_loose(self):
+        g = grid_graph(5, 5)
+        assert bounded_bidirectional_distance(g, 0, 24, upper_bound=100.0) == 8.0
+
+    def test_returns_bound_when_tight(self):
+        g = path_graph(10)
+        # True distance 9; a (fictitious) bound of 4 stops the search.
+        assert bounded_bidirectional_distance(g, 0, 9, upper_bound=4.0) == 4.0
+
+    def test_exact_when_bound_equals_distance(self):
+        g = path_graph(10)
+        assert bounded_bidirectional_distance(g, 0, 9, upper_bound=9.0) == 9.0
+
+    def test_bound_one_short_circuits(self):
+        g = path_graph(3)
+        assert bounded_bidirectional_distance(g, 0, 1, upper_bound=1.0) == 1.0
+
+    def test_excluded_disconnection_returns_bound(self):
+        g = star_graph(5)  # leaves connect only through the centre
+        excluded = np.zeros(5, dtype=bool)
+        excluded[0] = True
+        assert bounded_bidirectional_distance(g, 1, 2, 2.0, excluded=excluded) == 2.0
+
+    def test_unbounded_disconnected_is_inf(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert bounded_bidirectional_distance(g, 0, 2, float("inf")) == float("inf")
+
+    def test_same_vertex(self):
+        g = path_graph(3)
+        assert bounded_bidirectional_distance(g, 1, 1, 5.0) == 0.0
+
+    def test_excluded_endpoint_rejected(self):
+        g = path_graph(3)
+        excluded = np.zeros(3, dtype=bool)
+        excluded[0] = True
+        with pytest.raises(ValueError):
+            bounded_bidirectional_distance(g, 0, 2, 5.0, excluded=excluded)
+
+    def test_nonpositive_bound_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            bounded_bidirectional_distance(g, 0, 2, 0.0)

@@ -1,0 +1,65 @@
+"""Tests for HL index serialization (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import HighwayCoverOracle
+from repro.core.serialization import load_oracle, save_oracle
+from repro.errors import NotBuiltError, ReproError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+class TestRoundTrip:
+    def test_loaded_oracle_answers_identically(self, ba_graph, tmp_path):
+        oracle = HighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        path = tmp_path / "index.hl"
+        written = save_oracle(oracle, path)
+        assert written == path.stat().st_size > 0
+
+        loaded = load_oracle(ba_graph, path)
+        pairs = sample_vertex_pairs(ba_graph, 120, seed=1)
+        for s, t in pairs:
+            assert loaded.query(int(s), int(t)) == oracle.query(int(s), int(t))
+
+    def test_state_identical(self, ws_graph, tmp_path):
+        oracle = HighwayCoverOracle(num_landmarks=5).build(ws_graph)
+        path = tmp_path / "index.hl"
+        save_oracle(oracle, path)
+        loaded = load_oracle(ws_graph, path)
+        assert loaded.labelling == oracle.labelling
+        assert np.array_equal(loaded.highway.matrix, oracle.highway.matrix)
+        assert np.array_equal(loaded.highway.landmarks, oracle.highway.landmarks)
+
+    def test_disconnected_highway_entries_survive(self, tmp_path):
+        from repro.graphs.graph import Graph
+
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        oracle = HighwayCoverOracle(landmarks=[1, 4]).build(g)
+        assert oracle.highway.distance(1, 4) == float("inf")
+        path = tmp_path / "index.hl"
+        save_oracle(oracle, path)
+        loaded = load_oracle(g, path)
+        assert loaded.highway.distance(1, 4) == float("inf")
+        assert loaded.query(0, 5) == float("inf")
+        assert loaded.query(0, 2) == 2.0
+
+
+class TestValidation:
+    def test_unbuilt_oracle_rejected(self, tmp_path):
+        with pytest.raises(NotBuiltError):
+            save_oracle(HighwayCoverOracle(), tmp_path / "x.hl")
+
+    def test_bad_magic_rejected(self, ba_graph, tmp_path):
+        path = tmp_path / "junk.hl"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(ReproError):
+            load_oracle(ba_graph, path)
+
+    def test_wrong_graph_size_rejected(self, ba_graph, tmp_path):
+        oracle = HighwayCoverOracle(num_landmarks=4).build(ba_graph)
+        path = tmp_path / "index.hl"
+        save_oracle(oracle, path)
+        other = barabasi_albert_graph(50, 2, seed=9)
+        with pytest.raises(ReproError):
+            load_oracle(other, path)

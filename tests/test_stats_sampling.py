@@ -1,0 +1,80 @@
+"""Unit tests for graph statistics (Table 1) and pair sampling (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import barabasi_albert_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import distance_distribution, sample_vertex_pairs
+from repro.graphs.stats import compute_stats
+from repro.search.bfs import bfs_distance
+
+
+class TestStats:
+    def test_table1_columns(self):
+        g = star_graph(5, name="star")
+        stats = compute_stats(g, network_type="test")
+        assert stats.num_vertices == 5
+        assert stats.num_edges == 4
+        assert stats.max_degree == 4
+        assert stats.avg_degree == pytest.approx(8 / 5)
+        assert stats.edge_vertex_ratio == pytest.approx(4 / 5)
+        assert stats.size_bytes == 4 * 2 * 8
+
+    def test_empty_graph(self):
+        stats = compute_stats(Graph(0, []))
+        assert stats.avg_degree == 0.0
+        assert stats.max_degree == 0
+
+    def test_as_row_shape(self):
+        row = compute_stats(star_graph(5)).as_row()
+        assert len(row) == 8
+
+
+class TestSampling:
+    def test_shape_and_range(self):
+        g = barabasi_albert_graph(50, 2, seed=1)
+        pairs = sample_vertex_pairs(g, 100, seed=2)
+        assert pairs.shape == (100, 2)
+        assert pairs.min() >= 0
+        assert pairs.max() < 50
+
+    def test_distinct_endpoints(self):
+        g = barabasi_albert_graph(10, 2, seed=1)
+        pairs = sample_vertex_pairs(g, 500, seed=3, distinct=True)
+        assert (pairs[:, 0] != pairs[:, 1]).all()
+
+    def test_deterministic(self):
+        g = barabasi_albert_graph(50, 2, seed=1)
+        p1 = sample_vertex_pairs(g, 30, seed=4)
+        p2 = sample_vertex_pairs(g, 30, seed=4)
+        assert np.array_equal(p1, p2)
+
+    def test_too_small_graph_raises(self):
+        with pytest.raises(GraphError):
+            sample_vertex_pairs(Graph(1, []), 5)
+
+    def test_negative_count_raises(self):
+        g = barabasi_albert_graph(50, 2, seed=1)
+        with pytest.raises(GraphError):
+            sample_vertex_pairs(g, -1)
+
+
+class TestDistanceDistribution:
+    def test_fractions_sum_to_one(self):
+        g = barabasi_albert_graph(60, 2, seed=5)
+        pairs = sample_vertex_pairs(g, 50, seed=6)
+        dist = distance_distribution(pairs, lambda s, t: bfs_distance(g, s, t))
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(d >= 1 for d in dist)  # distinct pairs, connected BA graph
+
+    def test_unreachable_bucketed_as_minus_one(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        pairs = np.asarray([[0, 2], [0, 1]])
+        dist = distance_distribution(pairs, lambda s, t: bfs_distance(g, s, t))
+        assert dist[-1] == pytest.approx(0.5)
+        assert dist[1] == pytest.approx(0.5)
+
+    def test_empty_pairs(self):
+        assert distance_distribution(np.empty((0, 2)), lambda s, t: 0) == {}

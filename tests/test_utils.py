@@ -1,0 +1,73 @@
+"""Tests for the utility modules (timing, formatting) and errors."""
+
+import time
+
+import pytest
+
+from repro.errors import ConstructionBudgetExceeded, ReproError, VertexError
+from repro.utils.formatting import format_bytes, format_seconds, format_table
+from repro.utils.timing import Stopwatch, TimeBudget
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.01)
+        first = sw.elapsed
+        with sw:
+            time.sleep(0.01)
+        assert sw.elapsed > first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestTimeBudget:
+    def test_unlimited(self):
+        budget = TimeBudget(None)
+        budget.check()  # never raises
+        assert not budget.exhausted
+
+    def test_zero_means_unlimited(self):
+        assert TimeBudget(0).seconds is None
+
+    def test_exhaustion_raises_dnf(self):
+        budget = TimeBudget(1e-9, method="X")
+        time.sleep(0.002)
+        with pytest.raises(ConstructionBudgetExceeded) as err:
+            budget.check()
+        assert err.value.method == "X"
+
+    def test_error_hierarchy(self):
+        assert issubclass(ConstructionBudgetExceeded, ReproError)
+        assert issubclass(VertexError, ReproError)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024**2) == "3.0MB"
+        assert format_bytes(5 * 1024**3) == "5.0GB"
+
+    def test_format_bytes_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_seconds(self):
+        assert format_seconds(2e-6).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_format_table_alignment(self):
+        table = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+        assert "----" in lines[1]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

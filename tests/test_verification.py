@@ -1,0 +1,91 @@
+"""Tests for the theorem-verification helpers themselves."""
+
+import numpy as np
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.highway import Highway
+from repro.core.labels import LabelAccumulator
+from repro.core.verification import (
+    is_highway_cover,
+    is_hwc_minimal,
+    labelling_entry_set,
+    reference_minimal_entries,
+)
+from repro.datasets.example_graph import paper_example_graph
+from repro.graphs.generators import path_graph
+
+
+class TestReferenceOracle:
+    def test_example_graph_entries(self):
+        """The brute-force oracle reproduces Figure 2(c) independently."""
+        graph = paper_example_graph()
+        highway = Highway([1, 5, 9])
+        required = reference_minimal_entries(graph, highway)
+        assert len(required) == 13
+        # Spot-check: vertex 7 covered by 5 (index 1) and 9 (index 2).
+        assert (1, 7) in required
+        assert (2, 7) in required
+        assert (0, 7) not in required
+
+    def test_path_with_middle_landmark_blocks_far_side(self):
+        # 0-1-2-3-4 with landmarks 1 and 3: vertex 4 must not carry an
+        # entry for landmark 1 (3 is on every shortest path).
+        graph = path_graph(5)
+        highway = Highway([1, 3])
+        required = reference_minimal_entries(graph, highway)
+        assert (1, 4) in required  # landmark 3 covers 4
+        assert (0, 4) not in required  # landmark 1 pruned by 3
+        assert (0, 0) in required
+        assert (0, 2) in required and (1, 2) in required
+
+
+class TestDetectors:
+    def test_detects_missing_entry(self):
+        """Dropping an entry breaks the highway-cover property check."""
+        graph = paper_example_graph()
+        labelling, highway = build_highway_cover_labelling(graph, [1, 5, 9])
+        entries = labelling_entry_set(labelling)
+        # Rebuild a labelling with one entry removed.
+        removed = sorted(entries)[0]
+        acc = LabelAccumulator(graph.num_vertices, 3)
+        per_landmark = {0: [], 1: [], 2: []}
+        for v in range(graph.num_vertices):
+            for r, d in labelling.label(v).entries():
+                if (r, v) != removed:
+                    per_landmark[r].append((v, d))
+        for r, pairs in per_landmark.items():
+            if pairs:
+                vs, ds = zip(*pairs)
+            else:
+                vs, ds = (), ()
+            acc.add_landmark_result(r, np.asarray(vs, dtype=np.int64), np.asarray(ds, dtype=np.int32))
+        broken = acc.freeze()
+        assert not is_highway_cover(graph, broken, highway)
+        assert not is_hwc_minimal(graph, broken, highway)
+
+    def test_detects_redundant_entry(self):
+        """Adding a redundant entry keeps the cover but breaks minimality."""
+        graph = paper_example_graph()
+        labelling, highway = build_highway_cover_labelling(graph, [1, 5, 9])
+        acc = LabelAccumulator(graph.num_vertices, 3)
+        per_landmark = {0: [], 1: [], 2: []}
+        for v in range(graph.num_vertices):
+            for r, d in labelling.label(v).entries():
+                per_landmark[r].append((v, d))
+        # Vertex 7 has no entry for landmark 1 (index 0); inject the true
+        # distance d(1, 7) = 2 as a redundant entry.
+        per_landmark[0].append((7, 2))
+        for r, pairs in per_landmark.items():
+            vs, ds = zip(*sorted(pairs))
+            acc.add_landmark_result(r, np.asarray(vs, dtype=np.int64), np.asarray(ds, dtype=np.int32))
+        padded = acc.freeze()
+        assert is_highway_cover(graph, padded, highway)
+        assert not is_hwc_minimal(graph, padded, highway)
+
+    def test_algorithm_1_output_passes_both(self, ba_graph):
+        from repro.landmarks.selection import select_landmarks
+
+        landmarks = select_landmarks(ba_graph, 5)
+        labelling, highway = build_highway_cover_labelling(ba_graph, landmarks)
+        assert is_highway_cover(ba_graph, labelling, highway)
+        assert is_hwc_minimal(ba_graph, labelling, highway)
