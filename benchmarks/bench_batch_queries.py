@@ -1,0 +1,115 @@
+"""Benchmark: vectorized batch engine vs. the scalar query loop.
+
+The paper's query workload is bulk — 100,000 random pairs per dataset —
+so the number that matters is batch throughput. This benchmark answers
+the same ≥10k-pair workload twice, once through
+``oracle.query_many`` (the batch engine) and once by looping
+``oracle.query``, asserts the distances are bitwise identical, and
+reports the speedup. The engine is expected to win by >= 5x on the
+default workload (power-law graph, tight bounds); the margin comes from
+amortizing per-pair Python overhead into a handful of numpy passes and
+from answering each source group with one stacked bounded BFS.
+
+Environment knobs (for CI smoke runs):
+
+* ``REPRO_BENCH_BATCH_N`` — graph size (default 2000).
+* ``REPRO_BENCH_BATCH_PAIRS`` — workload size (default 10000).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import save_and_print
+
+from repro.core.query import HighwayCoverOracle
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.utils.formatting import format_table
+
+NUM_VERTICES = int(os.environ.get("REPRO_BENCH_BATCH_N", "2000"))
+NUM_PAIRS = int(os.environ.get("REPRO_BENCH_BATCH_PAIRS", "10000"))
+NUM_LANDMARKS = 20
+#: The acceptance bar on the full default workload; smaller smoke
+#: workloads (CI) amortize less, so the bar scales down with size.
+FULL_WORKLOAD_SPEEDUP = 5.0
+
+
+def _build_workload():
+    graph = barabasi_albert_graph(NUM_VERTICES, 3, seed=7)
+    oracle = HighwayCoverOracle(num_landmarks=NUM_LANDMARKS).build(graph)
+    pairs = sample_vertex_pairs(graph, NUM_PAIRS, seed=9)
+    return graph, oracle, pairs
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_batch_engine_speedup(results_dir):
+    """Engine vs scalar loop: identical answers, >= 5x faster at 10k pairs."""
+    graph, oracle, pairs = _build_workload()
+    oracle.query_many(pairs[:16])  # warm the engine + caches
+
+    engine_seconds = min(
+        _time_once(lambda: oracle.query_many(pairs)) for _ in range(3)
+    )
+    batch = oracle.query_many(pairs)
+
+    start = time.perf_counter()
+    scalar = np.asarray([oracle.query(int(s), int(t)) for s, t in pairs])
+    scalar_seconds = time.perf_counter() - start
+
+    assert np.array_equal(batch, scalar), "engine diverged from scalar loop"
+    speedup = scalar_seconds / engine_seconds
+    # Scale the bar for smoke-sized runs; the full criterion applies at
+    # the default >= 10k-pair workload.
+    required = FULL_WORKLOAD_SPEEDUP if NUM_PAIRS >= 10_000 else 1.5
+    assert speedup >= required, (
+        f"batch engine speedup {speedup:.1f}x below the {required:.1f}x bar "
+        f"({NUM_PAIRS} pairs on n={NUM_VERTICES})"
+    )
+
+    per_pair_us = engine_seconds / len(pairs) * 1e6
+    save_and_print(
+        results_dir,
+        "batch_queries",
+        f"Batch query engine vs scalar loop "
+        f"(n={NUM_VERTICES}, k={NUM_LANDMARKS}, {NUM_PAIRS} pairs)",
+        format_table(
+            ["path", "total [s]", "per pair [us]", "speedup"],
+            [
+                ["scalar loop", f"{scalar_seconds:.3f}",
+                 f"{scalar_seconds / len(pairs) * 1e6:.1f}", "1.0x"],
+                ["batch engine", f"{engine_seconds:.3f}",
+                 f"{per_pair_us:.1f}", f"{speedup:.1f}x"],
+            ],
+        ),
+    )
+
+
+def test_query_many_throughput(benchmark):
+    """Raw engine throughput on the default workload (pytest-benchmark)."""
+    _, oracle, pairs = _build_workload()
+    oracle.query_many(pairs[:16])
+    benchmark.pedantic(lambda: oracle.query_many(pairs), rounds=3, iterations=1)
+
+
+def test_upper_bounds_vectorization(benchmark):
+    """The offline half alone: all d-top bounds in a few numpy passes."""
+    _, oracle, pairs = _build_workload()
+    engine = oracle.batch_engine()
+    engine.upper_bounds(pairs[:16])
+    benchmark.pedantic(lambda: engine.upper_bounds(pairs), rounds=3, iterations=1)
+
+
+if __name__ == "__main__":  # standalone: python benchmarks/bench_batch_queries.py
+    import pytest
+    import sys
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"] + sys.argv[1:]))

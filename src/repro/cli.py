@@ -7,6 +7,8 @@ Commands:
   and persist an HL index.
 * ``query <edgelist> <index> s t [s t ...]`` — exact distances from a
   saved index.
+* ``query-batch <edgelist> <index> [--pairs-file F | --random N]`` —
+  bulk exact distances through the vectorized batch engine.
 * ``bench-dataset <name>`` — build HL on one surrogate and report
   CT/ALS/size/coverage.
 * ``datasets`` — list the twelve surrogate networks.
@@ -81,11 +83,48 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    graph = read_edge_list(args.graph)
+    oracle = load_oracle(graph, args.index)
+    if args.pairs_file is not None:
+        import warnings
+
+        try:
+            with warnings.catch_warnings():
+                # Empty pair files are legal; silence loadtxt's no-data warning.
+                warnings.simplefilter("ignore", UserWarning)
+                pairs = np.loadtxt(args.pairs_file, dtype=np.int64, ndmin=2)
+        except ValueError:
+            print("error: pairs file must hold two vertex ids per line", file=sys.stderr)
+            return 2
+        if pairs.size == 0:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            print("error: pairs file must hold two vertex ids per line", file=sys.stderr)
+            return 2
+    else:
+        pairs = sample_vertex_pairs(graph, args.random, seed=args.seed)
+    distances, covered = oracle.query_many(pairs, return_coverage=True)
+    for (s, t), d in zip(pairs, distances):
+        rendered = "inf" if d == float("inf") else f"{d:.0f}"
+        print(f"{int(s)} {int(t)} {rendered}")
+    coverage = float(covered.mean()) if len(pairs) else 0.0
+    print(
+        f"# pairs={len(pairs)} coverage={coverage:.3f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_bench_dataset(args: argparse.Namespace) -> int:
+    from repro.core.batch import coverage_ratio
+
     graph = load_dataset(args.name, scale=args.scale)
     oracle = HighwayCoverOracle(num_landmarks=args.landmarks).build(graph)
     pairs = sample_vertex_pairs(graph, args.pairs, seed=1)
-    covered = sum(1 for s, t in pairs if oracle.is_covered(int(s), int(t)))
+    coverage = coverage_ratio(oracle, pairs)
     print(
         format_table(
             ["dataset", "n", "m", "CT", "ALS", "index", "coverage"],
@@ -97,7 +136,7 @@ def _cmd_bench_dataset(args: argparse.Namespace) -> int:
                     f"{oracle.construction_seconds:.2f}s",
                     f"{oracle.average_label_size():.1f}",
                     format_bytes(oracle.size_bytes()),
-                    f"{covered / len(pairs):.2f}",
+                    f"{coverage:.2f}",
                 ]
             ],
         )
@@ -136,6 +175,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("index", help="index file from 'build'")
     p_query.add_argument("vertices", nargs="+", type=int, help="s t [s t ...]")
     p_query.set_defaults(func=_cmd_query)
+
+    p_batch = sub.add_parser(
+        "query-batch",
+        help="bulk exact distances via the vectorized batch engine",
+    )
+    p_batch.add_argument("graph", help="edge-list file")
+    p_batch.add_argument("index", help="index file from 'build'")
+    source = p_batch.add_mutually_exclusive_group()
+    source.add_argument(
+        "--pairs-file", help="file with one 's t' pair per line"
+    )
+    source.add_argument(
+        "--random", type=int, default=1000, help="sample this many random pairs"
+    )
+    p_batch.add_argument("--seed", type=int, default=0, help="seed for --random")
+    p_batch.set_defaults(func=_cmd_query_batch)
 
     p_bench = sub.add_parser("bench-dataset", help="profile HL on a surrogate")
     p_bench.add_argument("name", choices=dataset_names())

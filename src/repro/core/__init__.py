@@ -26,6 +26,7 @@ from repro.core.verification import (
 from repro.core.dynamic import DynamicHighwayCoverOracle
 from repro.core.paths import shortest_path
 from repro.core.batch import batch_query, batch_upper_bounds, coverage_ratio
+from repro.core.batch_engine import BatchQueryEngine
 from repro.core.serialization import load_oracle, save_oracle
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "reference_minimal_entries",
     "DynamicHighwayCoverOracle",
     "shortest_path",
+    "BatchQueryEngine",
     "batch_query",
     "batch_upper_bounds",
     "coverage_ratio",

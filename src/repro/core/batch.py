@@ -1,10 +1,12 @@
 """Vectorized batch queries over the HL index (extension).
 
 Analytics workloads (centrality, Figure 9's coverage sweeps, the paper's
-100,000-pair query benchmark) issue distance queries in bulk. The
-per-query upper-bound computation is a tiny dense expression, so batching
-it across pairs amortizes Python call overhead; pairs whose bound is
-certifiably exact (covered pairs) never touch the online search at all.
+100,000-pair query benchmark) issue distance queries in bulk. These
+module-level helpers are thin functional wrappers around the oracle's
+:class:`~repro.core.batch_engine.BatchQueryEngine`, which answers a whole
+batch with a handful of numpy passes: one flattened-label gather for all
+upper bounds, short circuits for trivially-exact pairs, and one grouped
+multi-target bounded BFS per distinct source vertex.
 
 ``batch_query`` is semantically identical to looping ``oracle.query`` —
 asserted by the test suite — just faster for large pair sets.
@@ -17,18 +19,17 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.query import HighwayCoverOracle
-from repro.search.bounded import bounded_bidirectional_distance
 
 
 def batch_upper_bounds(
     oracle: HighwayCoverOracle, pairs: np.ndarray
 ) -> np.ndarray:
-    """Upper bounds ``d⊤`` for an (k, 2) array of vertex pairs."""
-    _, labelling, highway = oracle._require_built()
-    out = np.empty(len(pairs), dtype=float)
-    for i, (s, t) in enumerate(pairs):
-        out[i] = oracle.upper_bound(int(s), int(t))
-    return out
+    """Upper bounds ``d⊤`` for an (k, 2) array of vertex pairs.
+
+    Validates ``pairs`` exactly like :func:`batch_query` (shape ``(k, 2)``,
+    integer dtype, in-range vertex ids).
+    """
+    return oracle.batch_engine().upper_bounds(pairs)
 
 
 def batch_query(
@@ -47,40 +48,9 @@ def batch_query(
     Returns:
         ``(distances, covered_or_None)``.
     """
-    graph, labelling, highway = oracle._require_built()
-    pairs = np.asarray(pairs, dtype=np.int64)
-    if pairs.ndim != 2 or pairs.shape[1] != 2:
-        raise ValueError("pairs must have shape (k, 2)")
-    k = len(pairs)
-    distances = np.empty(k, dtype=float)
-    covered = np.zeros(k, dtype=bool) if return_coverage else None
-    mask = oracle._landmark_mask
-
-    bounds = batch_upper_bounds(oracle, pairs)
-    for i, (s, t) in enumerate(pairs):
-        s, t = int(s), int(t)
-        if s == t:
-            distances[i] = 0.0
-            if covered is not None:
-                covered[i] = True
-            continue
-        if mask[s] or mask[t]:
-            # Landmark endpoints: the bound *is* the exact distance.
-            distances[i] = bounds[i]
-            if covered is not None:
-                covered[i] = True
-            continue
-        d = bounded_bidirectional_distance(graph, s, t, bounds[i], excluded=mask)
-        distances[i] = d
-        if covered is not None:
-            covered[i] = d == bounds[i]
-    return distances, covered
+    return oracle.batch_engine().query_many(pairs, return_coverage=return_coverage)
 
 
 def coverage_ratio(oracle: HighwayCoverOracle, pairs: np.ndarray) -> float:
     """Fraction of pairs answerable from the labels alone (Figure 9)."""
-    if len(pairs) == 0:
-        return 0.0
-    _, covered = batch_query(oracle, pairs, return_coverage=True)
-    assert covered is not None
-    return float(covered.mean())
+    return oracle.batch_engine().coverage_ratio(pairs)

@@ -77,6 +77,7 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
         if affected:
             self._repair(new_graph, affected)
         self.graph = new_graph
+        self._batch_engine = None  # engine snapshots graph + labels
         return affected
 
     def delete_edge(self, u: int, v: int) -> None:

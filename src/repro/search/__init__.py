@@ -3,7 +3,10 @@
 from repro.search.bfs import bfs_distances, bfs_distance, bfs_levels
 from repro.search.dijkstra import dijkstra_distances, dijkstra_distance
 from repro.search.bidirectional import bidirectional_bfs_distance
-from repro.search.bounded import bounded_bidirectional_distance
+from repro.search.bounded import (
+    bounded_bidirectional_distance,
+    bounded_grouped_multi_target_distances,
+)
 
 __all__ = [
     "bfs_distances",
@@ -13,4 +16,5 @@ __all__ = [
     "dijkstra_distance",
     "bidirectional_bfs_distance",
     "bounded_bidirectional_distance",
+    "bounded_grouped_multi_target_distances",
 ]

@@ -90,6 +90,219 @@ def bounded_bidirectional_distance(
     return float(upper_bound) if not math.isinf(upper_bound) else float("inf")
 
 
+def bounded_grouped_multi_target_distances(
+    graph: Graph,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    target_group: np.ndarray,
+    bounds: np.ndarray,
+    excluded: Optional[np.ndarray] = None,
+    cells_budget: int = 1 << 26,
+) -> np.ndarray:
+    """Stacked bounded BFS: many source groups advanced in lock step.
+
+    The batch engine groups query pairs by source vertex; this function
+    runs *all* groups' sparsified BFS waves simultaneously instead of one
+    Python-level loop per group: frontiers are stored as flat
+    ``group * n + vertex`` keys, so one vectorized pass per BFS *level*
+    expands every group at once. For large batches this collapses
+    thousands of per-group level loops into a handful of numpy passes —
+    the level loop executes ``max(bounds) - 1`` times in total, not per
+    group.
+
+    For each query the result is
+    ``min(d_{G[V\\R]}(source, target), bound)`` — exactly what
+    :func:`bounded_bidirectional_distance` returns, so by Theorem 4.6 the
+    answers are exact whenever the bounds come from a highway cover
+    labelling.
+
+    Args:
+        graph: the full graph ``G``.
+        sources: ``(G,)`` source vertex per group; none excluded.
+        targets: ``(T,)`` target vertex per query; none excluded, none
+            equal to its group's source. ``(group, target)`` pairs must be
+            distinct.
+        target_group: ``(T,)`` index into ``sources`` for each query.
+        bounds: ``(T,)`` admissible upper bounds per query.
+        excluded: boolean mask of removed vertices (the landmark set).
+        cells_budget: cap on the ``groups x n`` visited bitmap; group
+            chunks are sized so the bitmap never exceeds it.
+
+    Returns:
+        ``(T,)`` float array of exact distances, aligned with ``targets``.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    target_group = np.asarray(target_group, dtype=np.int64)
+    out = np.asarray(bounds, dtype=float).copy()
+    if targets.size == 0:
+        return out
+    n = graph.num_vertices
+    for arr, what in ((sources, "source"), (targets, "target")):
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            raise ValueError(f"{what} vertex out of range")
+    if excluded is not None and (
+        excluded[sources].any() or excluded[targets].any()
+    ):
+        raise ValueError("bounded search endpoints must not be excluded vertices")
+
+    num_groups = len(sources)
+    chunk = max(1, cells_budget // max(1, n))
+    for chunk_start in range(0, num_groups, chunk):
+        chunk_end = min(chunk_start + chunk, num_groups)
+        in_chunk = (target_group >= chunk_start) & (target_group < chunk_end)
+        sel = np.flatnonzero(in_chunk)
+        if sel.size:
+            out[sel] = _stacked_search_chunk(
+                graph,
+                sources[chunk_start:chunk_end],
+                targets[sel],
+                target_group[sel] - chunk_start,
+                out[sel],
+                excluded,
+            )
+    return out
+
+
+def _stacked_search_chunk(
+    graph: Graph,
+    sources: np.ndarray,
+    t_vertex: np.ndarray,
+    t_group: np.ndarray,
+    t_bound: np.ndarray,
+    excluded: Optional[np.ndarray],
+) -> np.ndarray:
+    """Advance one chunk of groups in lock step; see the caller for terms.
+
+    Two pruning rules keep the stacked wave small:
+
+    * **Last-level inversion.** A target whose bound is ``level + 2`` can
+      only improve by being reached at ``level + 1`` — and that happens
+      iff the (unvisited) target has a neighbor in the current wave. So
+      instead of expanding the wave one more (exponentially large) level,
+      the target's own O(degree) neighborhood is checked against the
+      visited bitmap. Since BFS waves grow with depth, this removes the
+      single most expensive level of every group's search.
+    * **Group retirement.** After the check, a group keeps expanding only
+      while some unsettled target's bound exceeds ``level + 2``; retired
+      groups' frontier entries are dropped wholesale.
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.csr.indptr, graph.csr.indices
+    num_groups = len(sources)
+    result = t_bound.copy()
+    settled = np.zeros(t_vertex.size, dtype=bool)
+
+    # Sorted flat target keys enable hit detection by binary search.
+    t_key = t_group * n + t_vertex
+    t_order = np.argsort(t_key)
+    sorted_keys = t_key[t_order]
+
+    visited = np.zeros(num_groups * n, dtype=bool)
+    flags = np.zeros(num_groups * n, dtype=bool)
+    frontier_keys = np.arange(num_groups, dtype=np.int64) * n + sources
+    visited[frontier_keys] = True
+    level = 0
+    while frontier_keys.size:
+        # Last-level inversion: settle bound == level + 2 targets by
+        # scanning their own neighborhoods (an unvisited target with a
+        # visited neighbor is at distance exactly level + 1, because a
+        # neighbor visited earlier would have claimed it already).
+        check = np.flatnonzero(
+            ~settled & (t_bound > level + 1) & (t_bound <= level + 2)
+        )
+        if check.size:
+            check = check[~visited[t_group[check] * n + t_vertex[check]]]
+        if check.size:
+            reached = _targets_with_visited_neighbor(
+                indptr, indices, t_vertex[check], t_group[check] * n, visited
+            )
+            result[check[reached]] = float(level + 1)
+        settled[~settled & (t_bound <= level + 2)] = True
+
+        # A group profits from the wave only while some unsettled
+        # target's bound exceeds level + 2 (closer bounds are handled by
+        # the check above); drop retired groups' frontier entries.
+        if not (~settled).any():
+            break
+        group_active = np.zeros(num_groups, dtype=bool)
+        group_active[t_group[~settled]] = True
+        frontier_group = frontier_keys // n
+        keep = group_active[frontier_group]
+        if not keep.all():
+            frontier_keys = frontier_keys[keep]
+            frontier_group = frontier_group[keep]
+            if frontier_keys.size == 0:
+                break
+        level += 1
+
+        # Vectorized neighbor gather across every group's frontier.
+        frontier_vertex = frontier_keys - frontier_group * n
+        starts = indptr[frontier_vertex]
+        ends = indptr[frontier_vertex + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        cumulative = np.cumsum(counts)
+        gather = np.repeat(ends - cumulative, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        neighbor_vertex = indices[gather].astype(np.int64)
+        neighbor_group = np.repeat(frontier_group, counts)
+        if excluded is not None:
+            alive = ~excluded[neighbor_vertex]
+            neighbor_vertex = neighbor_vertex[alive]
+            neighbor_group = neighbor_group[alive]
+        neighbor_keys = neighbor_group * n + neighbor_vertex
+        neighbor_keys = neighbor_keys[~visited[neighbor_keys]]
+        if neighbor_keys.size == 0:
+            break
+        # Scatter-dedupe into the flags bitmap (cheaper than sorting).
+        flags[neighbor_keys] = True
+        frontier_keys = np.flatnonzero(flags)
+        flags[frontier_keys] = False
+        visited[frontier_keys] = True
+
+        # Which (group, target) queries were just reached?
+        pos = np.searchsorted(sorted_keys, frontier_keys)
+        pos[pos == sorted_keys.size] = 0
+        hit = sorted_keys[pos] == frontier_keys
+        hit_targets = t_order[pos[hit]]
+        if hit_targets.size:
+            result[hit_targets] = np.minimum(result[hit_targets], float(level))
+            settled[hit_targets] = True
+    return result
+
+
+def _targets_with_visited_neighbor(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    vertices: np.ndarray,
+    key_base: np.ndarray,
+    visited: np.ndarray,
+) -> np.ndarray:
+    """Positions in ``vertices`` having >= 1 visited neighbor (per group).
+
+    ``key_base[i] = group_i * n`` offsets vertex ids into the flat
+    per-group ``visited`` bitmap. Excluded vertices never enter
+    ``visited``, so no separate exclusion filter is needed.
+    """
+    starts = indptr[vertices]
+    ends = indptr[vertices + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    reached = np.zeros(len(vertices), dtype=bool)
+    if total == 0:
+        return np.flatnonzero(reached)
+    cumulative = np.cumsum(counts)
+    gather = np.repeat(ends - cumulative, counts) + np.arange(total, dtype=np.int64)
+    neighbor_keys = np.repeat(key_base, counts) + indices[gather]
+    owner = np.repeat(np.arange(len(vertices)), counts)
+    reached[owner[visited[neighbor_keys]]] = True
+    return np.flatnonzero(reached)
+
+
 def _expand(graph, frontier, side, own, other, excluded):
     """Advance one wave by a level.
 

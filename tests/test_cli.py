@@ -74,6 +74,81 @@ class TestBuildAndQuery:
         )
 
 
+class TestQueryBatch:
+    def test_random_pairs(self, edgelist, tmp_path, capsys):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index), "-k", "6"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query-batch",
+                    str(edgelist),
+                    str(index),
+                    "--random",
+                    "25",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 25
+        assert "pairs=25" in captured.err
+        assert "coverage=" in captured.err
+
+    def test_pairs_file_matches_scalar_query(self, edgelist, tmp_path, capsys):
+        from repro.core.serialization import load_oracle
+        from repro.graphs.io import read_edge_list
+
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index), "-k", "6"])
+        pairs_file = tmp_path / "pairs.txt"
+        pairs_file.write_text("0 100\n5 50\n7 7\n")
+        capsys.readouterr()
+        assert (
+            main(["query-batch", str(edgelist), str(index), "--pairs-file", str(pairs_file)])
+            == 0
+        )
+        out = capsys.readouterr().out.strip().splitlines()
+        graph = read_edge_list(edgelist)
+        oracle = load_oracle(graph, index)
+        for line, (s, t) in zip(out, [(0, 100), (5, 50), (7, 7)]):
+            assert line.split() == [str(s), str(t), f"{oracle.query(s, t):.0f}"]
+
+    @pytest.mark.parametrize(
+        "content", ["1 2 3\n4 5 6\n", "1.5 2\n", "s t\n0 1\n"],
+        ids=["three-columns", "float", "header"],
+    )
+    def test_malformed_pairs_file(self, edgelist, tmp_path, capsys, content):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index)])
+        pairs_file = tmp_path / "pairs.txt"
+        pairs_file.write_text(content)
+        capsys.readouterr()
+        assert (
+            main(["query-batch", str(edgelist), str(index), "--pairs-file", str(pairs_file)])
+            == 2
+        )
+        assert "two vertex ids per line" in capsys.readouterr().err
+
+    def test_empty_pairs_file(self, edgelist, tmp_path, capsys):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index)])
+        pairs_file = tmp_path / "pairs.txt"
+        pairs_file.write_text("")
+        capsys.readouterr()
+        assert (
+            main(["query-batch", str(edgelist), str(index), "--pairs-file", str(pairs_file)])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out.strip() == ""
+        assert "pairs=0" in captured.err
+
+
 class TestDatasetCommands:
     def test_datasets_lists_twelve(self, capsys):
         assert main(["datasets"]) == 0

@@ -14,7 +14,10 @@ from repro.search.bfs import (
     multi_source_bfs_distances,
 )
 from repro.search.bidirectional import bidirectional_bfs_distance
-from repro.search.bounded import bounded_bidirectional_distance
+from repro.search.bounded import (
+    bounded_bidirectional_distance,
+    bounded_grouped_multi_target_distances,
+)
 from repro.search.dijkstra import dijkstra_distance, dijkstra_distances, dijkstra_weighted
 
 
@@ -167,3 +170,93 @@ class TestBoundedSearch:
         g = path_graph(3)
         with pytest.raises(ValueError):
             bounded_bidirectional_distance(g, 0, 2, 0.0)
+
+
+class TestStackedMultiTargetBounded:
+    """Stacked grouped search vs. the per-pair bidirectional engine."""
+
+    def _random_case(self, seed):
+        from repro.graphs.generators import erdos_renyi_graph
+
+        rng = np.random.default_rng(seed)
+        graph = erdos_renyi_graph(60, 3.0, seed=seed)
+        excluded = np.zeros(60, dtype=bool)
+        excluded[rng.choice(60, size=4, replace=False)] = True
+        return graph, excluded, rng
+
+    def _random_queries(self, excluded, rng, num_groups=5, per_group=4):
+        free = np.flatnonzero(~excluded)
+        sources = free[rng.choice(len(free), size=num_groups, replace=False)]
+        targets, target_group, bounds = [], [], []
+        for g, s in enumerate(sources):
+            choices = free[free != s]
+            for t in rng.choice(choices, size=per_group, replace=False):
+                targets.append(int(t))
+                target_group.append(g)
+                bounds.append(float(rng.integers(1, 9)))
+        bounds[0] = float("inf")
+        return (
+            sources,
+            np.asarray(targets),
+            np.asarray(target_group),
+            np.asarray(bounds),
+        )
+
+    @pytest.mark.parametrize("seed", [3, 4, 5, 11])
+    def test_stacked_matches_bidirectional(self, seed):
+        graph, excluded, rng = self._random_case(seed)
+        sources, targets, target_group, bounds = self._random_queries(excluded, rng)
+        stacked = bounded_grouped_multi_target_distances(
+            graph, sources, targets, target_group, bounds, excluded=excluded
+        )
+        expected = [
+            bounded_bidirectional_distance(
+                graph, int(sources[g]), int(t), b, excluded=excluded
+            )
+            for g, t, b in zip(target_group, targets, bounds)
+        ]
+        assert stacked.tolist() == expected
+
+    def test_stacked_group_chunking(self):
+        graph, excluded, rng = self._random_case(21)
+        sources, targets, target_group, bounds = self._random_queries(excluded, rng)
+        whole = bounded_grouped_multi_target_distances(
+            graph, sources, targets, target_group, bounds, excluded=excluded
+        )
+        # Tiny cells budget forces one group per chunk; answers must agree.
+        chunked = bounded_grouped_multi_target_distances(
+            graph, sources, targets, target_group, bounds,
+            excluded=excluded, cells_budget=1,
+        )
+        assert whole.tolist() == chunked.tolist()
+
+    def test_empty_queries(self):
+        g = star_graph(5)
+        out = bounded_grouped_multi_target_distances(
+            g, np.asarray([0]), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64), np.empty(0),
+        )
+        assert len(out) == 0
+
+    def test_excluded_endpoints_rejected(self):
+        g = star_graph(5)
+        excluded = np.zeros(5, dtype=bool)
+        excluded[1] = True
+        with pytest.raises(ValueError):
+            bounded_grouped_multi_target_distances(
+                g, np.asarray([1]), np.asarray([2]), np.asarray([0]),
+                np.asarray([2.0]), excluded=excluded,
+            )
+        with pytest.raises(ValueError):
+            bounded_grouped_multi_target_distances(
+                g, np.asarray([0]), np.asarray([1]), np.asarray([0]),
+                np.asarray([2.0]), excluded=excluded,
+            )
+
+    def test_out_of_range_rejected(self):
+        g = star_graph(5)
+        with pytest.raises(ValueError):
+            bounded_grouped_multi_target_distances(
+                g, np.asarray([0]), np.asarray([5]), np.asarray([0]),
+                np.asarray([2.0]),
+            )
