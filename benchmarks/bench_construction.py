@@ -1,0 +1,141 @@
+"""Benchmark: stacked construction engine (HL-C) vs. the looped builder.
+
+Construction is the dominant cost on large graphs, so the number that
+matters is how fast Algorithm 1 runs at realistic landmark counts. This
+benchmark builds the labelling twice on BA / WS / grid graphs at
+k ∈ {16, 64} — once with the stacked bit-parallel engine and once with
+the paper-literal looped builder — asserts the outputs are byte
+identical, and reports the speedups. The acceptance bar is >= 3x on the
+default 20k-vertex BA graph at k=64; the grid row is expected to be the
+least favourable (high diameter means many near-empty dense levels) and
+is reported for honesty, not asserted.
+
+Environment knobs (for CI smoke runs):
+
+* ``REPRO_BENCH_CONS_N`` — graph size (default 20000).
+
+Run standalone with ``python benchmarks/bench_construction.py``
+(``--smoke`` for the small CI configuration).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import save_and_print
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.construction_engine import build_highway_cover_labelling_stacked
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    grid_graph,
+    watts_strogatz_graph,
+)
+from repro.landmarks.selection import select_landmarks
+from repro.utils.formatting import format_table
+
+NUM_VERTICES = int(os.environ.get("REPRO_BENCH_CONS_N", "20000"))
+LANDMARK_COUNTS = (16, 64)
+#: The acceptance bar (BA graph, k=64) on the full default workload;
+#: smoke workloads amortize less, so the bar scales down with size.
+FULL_WORKLOAD_SPEEDUP = 3.0
+
+
+def _graphs():
+    side = max(2, int(round(NUM_VERTICES ** 0.5)))
+    return [
+        ("ba", barabasi_albert_graph(NUM_VERTICES, 3, seed=7)),
+        ("ws", watts_strogatz_graph(NUM_VERTICES, 6, 0.05, seed=3)),
+        ("grid", grid_graph(side, side)),
+    ]
+
+
+def _time_best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_stacked_builder_speedup(results_dir):
+    """Engine vs looped builder: identical bytes, >= 3x on BA at k=64."""
+    rows = []
+    ba_speedup_at_64 = None
+    for name, graph in _graphs():
+        for k in LANDMARK_COUNTS:
+            landmarks = select_landmarks(graph, min(k, graph.num_vertices))
+            looped_labels, looped_highway = build_highway_cover_labelling(
+                graph, landmarks, engine="looped"
+            )
+            stacked_labels, stacked_highway = build_highway_cover_labelling_stacked(
+                graph, landmarks
+            )
+            assert stacked_labels == looped_labels, f"{name} k={k}: labels diverged"
+            assert np.array_equal(
+                stacked_highway.matrix, looped_highway.matrix
+            ), f"{name} k={k}: highway diverged"
+
+            looped_s = _time_best(
+                lambda: build_highway_cover_labelling(graph, landmarks, engine="looped")
+            )
+            stacked_s = _time_best(
+                lambda: build_highway_cover_labelling_stacked(graph, landmarks)
+            )
+            speedup = looped_s / stacked_s
+            if name == "ba" and k == 64:
+                ba_speedup_at_64 = speedup
+            rows.append(
+                [
+                    name,
+                    f"{graph.num_vertices:,}",
+                    k,
+                    f"{looped_s:.3f}",
+                    f"{stacked_s:.3f}",
+                    f"{speedup:.1f}x",
+                ]
+            )
+
+    required = FULL_WORKLOAD_SPEEDUP if NUM_VERTICES >= 20_000 else 1.0
+    assert ba_speedup_at_64 is not None
+    assert ba_speedup_at_64 >= required, (
+        f"stacked engine speedup {ba_speedup_at_64:.1f}x below the "
+        f"{required:.1f}x bar (BA n={NUM_VERTICES}, k=64)"
+    )
+    save_and_print(
+        results_dir,
+        "construction",
+        f"Stacked construction engine (HL-C) vs looped builder "
+        f"(n={NUM_VERTICES}, k in {list(LANDMARK_COUNTS)})",
+        format_table(
+            ["graph", "n", "k", "looped [s]", "stacked [s]", "speedup"],
+            rows,
+        ),
+    )
+
+
+def test_stacked_build_throughput(benchmark):
+    """Raw engine throughput at k=64 on the BA graph (pytest-benchmark)."""
+    graph = barabasi_albert_graph(NUM_VERTICES, 3, seed=7)
+    landmarks = select_landmarks(graph, 64)
+    build_highway_cover_labelling_stacked(graph, landmarks)  # warm caches
+    benchmark.pedantic(
+        lambda: build_highway_cover_labelling_stacked(graph, landmarks),
+        rounds=3,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":  # standalone: python benchmarks/bench_construction.py
+    import pytest
+    import sys
+
+    argv = sys.argv[1:]
+    if "--smoke" in argv:
+        argv.remove("--smoke")
+        os.environ.setdefault("REPRO_BENCH_CONS_N", "2000")
+    raise SystemExit(pytest.main([__file__, "-q", "-s"] + argv))

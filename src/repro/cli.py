@@ -3,8 +3,10 @@
 Commands:
 
 * ``stats <edgelist>`` — Table-1-style statistics for a graph file.
-* ``build <edgelist> -o index.hl [-k 20] [--strategy degree]`` — build
-  and persist an HL index.
+* ``build <edgelist> -o index.hl [-k 20] [--strategy degree]
+  [--engine stacked|looped] [--chunk-size C] [--parallel]`` — build and
+  persist an HL index (the stacked engine is the default; all engines
+  produce byte-identical indexes).
 * ``query <edgelist> <index> s t [s t ...]`` — exact distances from a
   saved index.
 * ``query-batch <edgelist> <index> [--pairs-file F | --random N]`` —
@@ -55,13 +57,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    if args.parallel and args.engine == "looped":
+        print(
+            "error: --parallel always uses the stacked engine; "
+            "drop --engine looped",
+            file=sys.stderr,
+        )
+        return 2
     graph = read_edge_list(args.graph)
     oracle = HighwayCoverOracle(
-        num_landmarks=args.landmarks, landmark_strategy=args.strategy
+        num_landmarks=args.landmarks,
+        landmark_strategy=args.strategy,
+        parallel=args.parallel,
+        engine=args.engine,
+        chunk_size=args.chunk_size,
     ).build(graph)
     written = save_oracle(oracle, args.output)
+    builder = "HL-P" if args.parallel else f"HL/{args.engine}"
     print(
-        f"built HL(k={args.landmarks}, {args.strategy}) in "
+        f"built {builder}(k={args.landmarks}, {args.strategy}) in "
         f"{oracle.construction_seconds:.2f}s; ALS="
         f"{oracle.average_label_size():.1f}; wrote {format_bytes(written)} "
         f"to {args.output}"
@@ -167,6 +181,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("-k", "--landmarks", type=int, default=20)
     p_build.add_argument(
         "--strategy", choices=sorted(STRATEGIES), default="degree"
+    )
+    p_build.add_argument(
+        "--engine",
+        choices=("stacked", "looped"),
+        default="stacked",
+        help="construction engine (identical output; stacked is faster)",
+    )
+    p_build.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="landmarks per stacked pass (bounds construction memory)",
+    )
+    p_build.add_argument(
+        "--parallel",
+        action="store_true",
+        help="build with the chunk-parallel HL-P builder",
     )
     p_build.set_defaults(func=_cmd_build)
 

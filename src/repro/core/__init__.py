@@ -14,6 +14,10 @@ Public entry points:
 from repro.core.highway import Highway
 from repro.core.labels import HighwayCoverLabelling, VertexLabel
 from repro.core.construction import build_highway_cover_labelling, pruned_bfs_from_landmark
+from repro.core.construction_engine import (
+    build_highway_cover_labelling_stacked,
+    stacked_pruned_bfs,
+)
 from repro.core.parallel import build_highway_cover_labelling_parallel
 from repro.core.bounds import upper_bound_distance
 from repro.core.query import HighwayCoverOracle
@@ -35,7 +39,9 @@ __all__ = [
     "VertexLabel",
     "build_highway_cover_labelling",
     "build_highway_cover_labelling_parallel",
+    "build_highway_cover_labelling_stacked",
     "pruned_bfs_from_landmark",
+    "stacked_pruned_bfs",
     "upper_bound_distance",
     "HighwayCoverOracle",
     "LabelCodec",

@@ -23,6 +23,13 @@ A by-product of visiting every vertex at its true level is that each
 pruned BFS also yields the exact distances from ``r`` to every other
 landmark — the highway row ``δH(r, ·)`` — so the highway is filled during
 construction, as noted below Algorithm 1 in the paper.
+
+:func:`build_highway_cover_labelling` dispatches between two engines
+with byte-identical output: the paper-literal looped builder in this
+module (``engine="looped"``, one pruned BFS per landmark) and the
+stacked bit-parallel engine in :mod:`repro.core.construction_engine`
+(``engine="stacked"``, the default — advances up to 64 landmarks per
+pass and is several times faster at large k).
 """
 
 from __future__ import annotations
@@ -121,6 +128,8 @@ def build_highway_cover_labelling(
     graph: Graph,
     landmarks: Sequence[int],
     budget_s: Optional[float] = None,
+    engine: str = "stacked",
+    chunk_size: Optional[int] = None,
 ) -> Tuple[HighwayCoverLabelling, Highway]:
     """Algorithm 1 over all landmarks (the method the paper calls HL).
 
@@ -131,10 +140,27 @@ def build_highway_cover_labelling(
             *indices* but, by Lemma 3.11, has no effect on the labels.
         budget_s: optional wall-clock budget; exceeding it raises
             :class:`~repro.errors.ConstructionBudgetExceeded` (DNF).
+        engine: ``"stacked"`` (default) advances all landmarks together
+            bit-parallel (HL-C, see
+            :mod:`repro.core.construction_engine`); ``"looped"`` runs
+            the paper-literal one-BFS-per-landmark loop below. Both
+            produce byte-identical output.
+        chunk_size: stacked engine only — landmarks in flight per pass
+            (bounds memory; ignored by the looped engine).
 
     Returns:
         ``(labelling, highway)`` with the highway matrix fully populated.
     """
+    if engine == "stacked":
+        from repro.core.construction_engine import (
+            build_highway_cover_labelling_stacked,
+        )
+
+        return build_highway_cover_labelling_stacked(
+            graph, landmarks, budget_s=budget_s, chunk_size=chunk_size
+        )
+    if engine != "looped":
+        raise ValueError(f"unknown construction engine {engine!r}")
     landmark_ids = np.asarray([int(v) for v in landmarks], dtype=np.int64)
     if landmark_ids.size == 0:
         raise LandmarkError("need at least one landmark")

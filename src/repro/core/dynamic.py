@@ -15,7 +15,9 @@ maintenance, exploiting two structural facts:
    computable without touching the graph.
 
 The repair therefore reruns Algorithm 1's pruned BFS *only for affected
-landmarks* and splices the new per-landmark entries into the label store
+landmarks* — all of them advanced together in one pass of the stacked
+engine (:func:`~repro.core.construction_engine.stacked_pruned_bfs`) —
+and splices the new per-landmark entries into the label store
 — typically a small fraction of a full rebuild for local updates. The
 result is asserted (by the test suite) to be byte-identical to a fresh
 build on the updated graph, so all of the paper's theorems keep holding
@@ -33,7 +35,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.core.construction import pruned_bfs_from_landmark
+from repro.core.construction_engine import stacked_pruned_bfs
 from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
 from repro.core.query import HighwayCoverOracle
 from repro.errors import NotBuiltError
@@ -85,8 +87,7 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
         graph, _, _ = self._require_built()
         if not graph.has_edge(u, v):
             raise ValueError(f"edge ({u}, {v}) does not exist")
-        kept = [(a, b) for a, b in graph.edges() if {a, b} != {u, v}]
-        new_graph = Graph(graph.num_vertices, kept, name=graph.name)
+        new_graph = graph.with_edges_removed([(u, v)])
         # Preserve the original landmark set across the rebuild.
         self._explicit_landmarks = [int(r) for r in self.highway.landmarks]
         self.build(new_graph)
@@ -111,21 +112,28 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
         return affected
 
     def _repair(self, new_graph: Graph, affected: List[int]) -> None:
-        """Rerun pruned BFS for the affected landmarks and splice results."""
+        """Rerun the pruned BFSs of all affected landmarks in one stacked
+        pass and splice the results into the label store."""
         labelling = self.labelling
         highway = self.highway
         landmark_ids = highway.landmarks
         mask = self._landmark_mask
         affected_set = {int(r) for r in affected}
+        # Roots in landmark-index order, so slots align with the passes.
+        roots = np.asarray(
+            [int(r) for r in landmark_ids if int(r) in affected_set], dtype=np.int64
+        )
+        per_vertices, per_distances, rows = stacked_pruned_bfs(
+            new_graph, roots, mask, landmark_ids
+        )
 
         accumulator = LabelAccumulator(new_graph.num_vertices, len(landmark_ids))
+        slot = 0
         for index, r in enumerate(landmark_ids):
-            r = int(r)
-            if r in affected_set:
-                vertices, distances, row = pruned_bfs_from_landmark(
-                    new_graph, r, mask, landmark_ids
-                )
-                highway.set_row(r, row)
+            if int(r) in affected_set:
+                vertices, distances = per_vertices[slot], per_distances[slot]
+                highway.set_row(int(r), rows[slot])
+                slot += 1
             else:
                 vertices, distances = _entries_of_landmark(labelling, index)
             accumulator.add_landmark_result(index, vertices, distances)

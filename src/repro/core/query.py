@@ -53,6 +53,12 @@ class HighwayCoverOracle:
             paper's HL(8) compression (8+8 bits).
         budget_s: optional construction budget (DNF reporting).
         workers: worker count for ``parallel=True``.
+        engine: sequential construction engine — ``"stacked"``
+            (default, the bit-parallel HL-C engine) or ``"looped"``
+            (one pruned BFS per landmark). Byte-identical output.
+        chunk_size: landmarks advanced per stacked pass (bounds
+            construction memory; also the per-worker unit for
+            ``parallel=True``).
 
     Example:
         >>> from repro.graphs import barabasi_albert_graph
@@ -72,6 +78,8 @@ class HighwayCoverOracle:
         budget_s: Optional[float] = None,
         workers: Optional[int] = None,
         landmarks: Optional[Sequence[int]] = None,
+        engine: str = "stacked",
+        chunk_size: Optional[int] = None,
     ) -> None:
         self.num_landmarks = num_landmarks
         self.landmark_strategy = landmark_strategy
@@ -79,6 +87,8 @@ class HighwayCoverOracle:
         self.codec = LabelCodec(codec)
         self.budget_s = budget_s
         self.workers = workers
+        self.engine = engine
+        self.chunk_size = chunk_size
         self._explicit_landmarks = list(landmarks) if landmarks is not None else None
         self.graph: Optional[Graph] = None
         self.labelling: Optional[HighwayCoverLabelling] = None
@@ -102,11 +112,19 @@ class HighwayCoverOracle:
         with Stopwatch() as sw:
             if self.parallel:
                 labelling, highway = build_highway_cover_labelling_parallel(
-                    graph, landmark_ids, budget_s=self.budget_s, workers=self.workers
+                    graph,
+                    landmark_ids,
+                    budget_s=self.budget_s,
+                    workers=self.workers,
+                    chunk_size=self.chunk_size,
                 )
             else:
                 labelling, highway = build_highway_cover_labelling(
-                    graph, landmark_ids, budget_s=self.budget_s
+                    graph,
+                    landmark_ids,
+                    budget_s=self.budget_s,
+                    engine=self.engine,
+                    chunk_size=self.chunk_size,
                 )
         self.construction_seconds = sw.elapsed
         self.graph = graph

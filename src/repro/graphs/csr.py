@@ -116,6 +116,40 @@ def frontier_neighbors(csr: CSRAdjacency, frontier: np.ndarray) -> np.ndarray:
     return csr.indices[gather]
 
 
+def bitset_neighbor_or(
+    csr: CSRAdjacency, words: np.ndarray, out: np.ndarray = None
+) -> np.ndarray:
+    """``out[v] = OR of words[u] over u in N(v)`` — a boolean-semiring
+    adjacency mat-vec over per-vertex bitset words.
+
+    This is the level step of every stacked (bit-parallel) BFS: with bit
+    ``i`` of ``words[u]`` meaning "u is in BFS i's frontier", one call
+    advances up to 64 BFSs across *all* edges at once via a single
+    gather + segmented OR, instead of per-(BFS, edge) work.
+
+    Args:
+        csr: the adjacency.
+        words: unsigned-integer array of length ``num_vertices``.
+        out: optional preallocated output array (same shape/dtype).
+    """
+    n = csr.num_vertices
+    if out is None:
+        out = np.zeros(n, dtype=words.dtype)
+    else:
+        out[:] = 0
+    if len(csr.indices) == 0:
+        return out
+    # reduceat quirks around empty segments (they return a[start] instead
+    # of the identity, and clipping starts truncates the *previous*
+    # segment): reduce over the nonempty rows only, whose start offsets
+    # are strictly increasing and tile the index array exactly.
+    nonempty = np.flatnonzero(csr.indptr[1:] > csr.indptr[:-1])
+    out[nonempty] = np.bitwise_or.reduceat(
+        words[csr.indices], csr.indptr[nonempty]
+    )
+    return out
+
+
 def induced_subgraph_csr(
     csr: CSRAdjacency, keep: np.ndarray
 ) -> Tuple[CSRAdjacency, np.ndarray]:

@@ -143,6 +143,43 @@ class Graph:
             self.num_vertices, combined, name=name or self.name
         )
 
+    def with_edges_removed(
+        self, removed: Iterable[Tuple[int, int]], name: Optional[str] = None
+    ) -> "Graph":
+        """A new graph with the given edges removed (graphs are immutable).
+
+        The counterpart of :meth:`with_edges_added`, used by the dynamic
+        oracle's ``delete_edge``. Works directly on the CSR arrays — no
+        Python-level edge iteration.
+
+        Raises:
+            GraphError: if an endpoint is out of range or an edge to
+                remove does not exist.
+        """
+        n = self.num_vertices
+        removed_arr = np.asarray(list(removed), dtype=np.int64).reshape(-1, 2)
+        if removed_arr.size and (
+            removed_arr.min() < 0 or removed_arr.max() >= n
+        ):
+            raise GraphError("edge endpoint out of range")
+        heads = np.repeat(np.arange(n), np.diff(self._csr.indptr))
+        tails = self._csr.indices.astype(np.int64)
+        keys = np.minimum(heads, tails) * n + np.maximum(heads, tails)
+        removed_keys = (
+            np.minimum(removed_arr[:, 0], removed_arr[:, 1]) * n
+            + np.maximum(removed_arr[:, 0], removed_arr[:, 1])
+        )
+        missing = ~np.isin(removed_keys, keys)
+        if missing.any():
+            u, v = removed_arr[np.flatnonzero(missing)[0]]
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        keep = ~np.isin(keys, removed_keys)
+        return Graph.from_edge_array(
+            n,
+            np.stack([heads[keep], tails[keep]], axis=1),
+            name=name or self.name,
+        )
+
     # -- Dunder helpers -------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

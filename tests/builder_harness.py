@@ -1,0 +1,135 @@
+"""Differential-testing harness for labelling builders.
+
+Every construction path in the library — the paper-literal looped
+builder, the stacked bit-parallel engine (HL-C) at several chunk sizes,
+and both HL-P backends — must produce **byte-identical** labellings and
+highways on the same (graph, landmark) input; that is the executable
+form of Lemma 3.11 plus the engine's correctness contract. The harness
+provides:
+
+* :func:`harness_cases` — a seeded, deterministic grid of graph
+  topologies (BA / WS / ER / grid / disconnected) × landmark counts;
+* :func:`build_all_variants` — one labelling per builder variant;
+* :func:`assert_builders_agree` — byte-equality across all variants
+  plus a ground-truth check that decoded label distances match
+  brute-force BFS.
+
+``tests/test_construction_engine.py`` drives it over the full grid; any
+new builder variant should be added to :data:`BUILDER_VARIANTS` so it is
+pinned by the same differential tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.construction_engine import build_highway_cover_labelling_stacked
+from repro.core.highway import Highway
+from repro.core.labels import HighwayCoverLabelling
+from repro.core.parallel import build_highway_cover_labelling_parallel
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.graph import Graph
+from repro.landmarks.selection import select_landmarks
+from repro.search.bfs import UNREACHED, bfs_distances
+
+BuildResult = Tuple[HighwayCoverLabelling, Highway]
+
+
+def _disconnected_graph() -> Graph:
+    """Two BA components plus isolated vertices, wired deterministically."""
+    left = barabasi_albert_graph(40, 2, seed=31)
+    right = barabasi_albert_graph(30, 2, seed=32)
+    offset = left.num_vertices
+    edges = [(u, v) for u, v in left.edges()]
+    edges += [(u + offset, v + offset) for u, v in right.edges()]
+    return Graph(offset + right.num_vertices + 3, edges, name="disconnected")
+
+
+#: name -> zero-argument factory; all seeded, so cases are reproducible.
+HARNESS_GRAPHS: Dict[str, Callable[[], Graph]] = {
+    "ba": lambda: barabasi_albert_graph(120, 3, seed=21, name="ba"),
+    "ws": lambda: watts_strogatz_graph(110, 4, 0.2, seed=22, name="ws"),
+    "er": lambda: erdos_renyi_graph(100, 3.0, seed=23, name="er"),
+    "grid": lambda: grid_graph(9, 11, name="grid"),
+    "disconnected": _disconnected_graph,
+}
+
+LANDMARK_COUNTS: Tuple[int, ...] = (1, 5, 12)
+
+#: name -> builder callable; every variant must agree byte-for-byte.
+BUILDER_VARIANTS: Dict[str, Callable[[Graph, Sequence[int]], BuildResult]] = {
+    "looped": lambda g, lms: build_highway_cover_labelling(g, lms, engine="looped"),
+    "stacked": lambda g, lms: build_highway_cover_labelling_stacked(g, lms),
+    "stacked-chunk1": lambda g, lms: build_highway_cover_labelling_stacked(
+        g, lms, chunk_size=1
+    ),
+    "stacked-chunk3": lambda g, lms: build_highway_cover_labelling_stacked(
+        g, lms, chunk_size=3
+    ),
+    "parallel-thread": lambda g, lms: build_highway_cover_labelling_parallel(
+        g, lms, backend="thread", workers=3, chunk_size=2
+    ),
+    "parallel-process": lambda g, lms: build_highway_cover_labelling_parallel(
+        g, lms, backend="process", workers=2, chunk_size=4
+    ),
+}
+
+
+def harness_cases() -> Iterator[Tuple[str, Graph, List[int]]]:
+    """Yield ``(case_id, graph, landmarks)`` over the full seeded grid."""
+    for name, factory in HARNESS_GRAPHS.items():
+        graph = factory()
+        for k in LANDMARK_COUNTS:
+            count = min(k, graph.num_vertices)
+            landmarks = select_landmarks(graph, count)
+            yield f"{name}-k{count}", graph, landmarks
+
+
+def build_all_variants(
+    graph: Graph, landmarks: Sequence[int]
+) -> Dict[str, BuildResult]:
+    """Build the labelling with every registered builder variant."""
+    return {
+        name: builder(graph, landmarks)
+        for name, builder in BUILDER_VARIANTS.items()
+    }
+
+
+def assert_labelled_distances_exact(
+    graph: Graph, landmarks: Sequence[int], labelling: HighwayCoverLabelling
+) -> None:
+    """Every label entry must decode to the brute-force BFS distance."""
+    landmark_arr = np.asarray(landmarks, dtype=np.int64)
+    for index, r in enumerate(landmark_arr):
+        truth = bfs_distances(graph, int(r))
+        positions = np.flatnonzero(labelling.landmark_indices == index)
+        vertices = (
+            np.searchsorted(labelling.offsets, positions, side="right") - 1
+        )
+        assert (truth[vertices] != UNREACHED).all(), f"landmark {r} labelled an unreachable vertex"
+        assert np.array_equal(
+            labelling.distances[positions], truth[vertices]
+        ), f"landmark {r} produced a wrong labelled distance"
+
+
+def assert_builders_agree(graph: Graph, landmarks: Sequence[int]) -> None:
+    """All builder variants byte-agree and decode to exact distances."""
+    results = build_all_variants(graph, landmarks)
+    ref_name = "looped"
+    ref_labelling, ref_highway = results[ref_name]
+    for name, (labelling, highway) in results.items():
+        assert labelling == ref_labelling, (
+            f"builder {name!r} diverged from {ref_name!r} labelling"
+        )
+        assert np.array_equal(highway.matrix, ref_highway.matrix), (
+            f"builder {name!r} diverged from {ref_name!r} highway"
+        )
+    assert_labelled_distances_exact(graph, landmarks, ref_labelling)

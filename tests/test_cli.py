@@ -29,7 +29,7 @@ class TestBuildAndQuery:
         assert main(["build", str(edgelist), "-o", str(index), "-k", "6"]) == 0
         assert index.exists()
         out = capsys.readouterr().out
-        assert "built HL(k=6" in out
+        assert "built HL/stacked(k=6" in out
 
         assert main(["query", str(edgelist), str(index), "0", "100", "5", "50"]) == 0
         out = capsys.readouterr().out

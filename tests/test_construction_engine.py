@@ -1,0 +1,159 @@
+"""Tests for the stacked construction engine (HL-C), driven by the
+differential builder harness in ``tests/builder_harness.py``."""
+
+import numpy as np
+import pytest
+
+from builder_harness import (
+    BUILDER_VARIANTS,
+    assert_builders_agree,
+    harness_cases,
+)
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.construction_engine import (
+    DEFAULT_CHUNK_SIZE,
+    build_highway_cover_labelling_stacked,
+    stacked_pruned_bfs,
+)
+from repro.core.query import HighwayCoverOracle
+from repro.errors import ConstructionBudgetExceeded, LandmarkError, VertexError
+from repro.graphs.generators import barabasi_albert_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.landmarks.selection import select_landmarks
+from repro.search.bfs import UNREACHED, bfs_distances
+
+CASES = list(harness_cases())
+
+
+class TestDifferentialHarness:
+    @pytest.mark.parametrize(
+        "graph,landmarks", [c[1:] for c in CASES], ids=[c[0] for c in CASES]
+    )
+    def test_all_builders_agree(self, graph, landmarks):
+        """Stacked, looped, and both HL-P builders are byte-identical."""
+        assert_builders_agree(graph, landmarks)
+
+    def test_variant_registry_covers_all_builders(self):
+        assert {"looped", "stacked", "parallel-thread", "parallel-process"} <= set(
+            BUILDER_VARIANTS
+        )
+
+
+class TestStackedEngine:
+    def test_multi_word_chunk(self):
+        """More than 64 in-flight landmarks spill into a second word."""
+        g = barabasi_albert_graph(200, 3, seed=5)
+        landmarks = select_landmarks(g, 70)
+        looped_l, looped_h = build_highway_cover_labelling(
+            g, landmarks, engine="looped"
+        )
+        stacked_l, stacked_h = build_highway_cover_labelling_stacked(
+            g, landmarks, chunk_size=70
+        )
+        assert stacked_l == looped_l
+        assert np.array_equal(stacked_h.matrix, looped_h.matrix)
+
+    def test_chunk_size_never_changes_output(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 9)
+        reference, _ = build_highway_cover_labelling_stacked(ba_graph, landmarks)
+        for chunk in (1, 2, 4, 9, 64, 200):
+            labelling, _ = build_highway_cover_labelling_stacked(
+                ba_graph, landmarks, chunk_size=chunk
+            )
+            assert labelling == reference
+
+    def test_subset_roots_against_full_mask(self, ba_graph):
+        """Dynamic repair's calling convention: roots ⊂ landmark set."""
+        landmarks = np.asarray(select_landmarks(ba_graph, 8), dtype=np.int64)
+        mask = np.zeros(ba_graph.num_vertices, dtype=bool)
+        mask[landmarks] = True
+        roots = landmarks[[1, 4, 6]]
+        per_vertices, per_distances, rows = stacked_pruned_bfs(
+            ba_graph, roots, mask, landmarks
+        )
+        from repro.core.construction import pruned_bfs_from_landmark
+
+        for slot, r in enumerate(roots):
+            vertices, distances, row = pruned_bfs_from_landmark(
+                ba_graph, int(r), mask, landmarks
+            )
+            order = np.argsort(per_vertices[slot])
+            ref_order = np.argsort(vertices)
+            assert np.array_equal(per_vertices[slot][order], vertices[ref_order])
+            assert np.array_equal(per_distances[slot][order], distances[ref_order])
+            assert np.array_equal(rows[slot], row)
+
+    def test_empty_roots(self, ba_graph):
+        landmarks = np.asarray(select_landmarks(ba_graph, 4), dtype=np.int64)
+        mask = np.zeros(ba_graph.num_vertices, dtype=bool)
+        mask[landmarks] = True
+        per_vertices, per_distances, rows = stacked_pruned_bfs(
+            ba_graph, np.empty(0, dtype=np.int64), mask, landmarks
+        )
+        assert per_vertices == [] and per_distances == []
+        assert rows.shape == (0, 4)
+
+    def test_singleton_graph(self):
+        labelling, highway = build_highway_cover_labelling_stacked(Graph(1, []), [0])
+        assert labelling.size() == 0
+        assert highway.distance(0, 0) == 0.0
+
+    def test_all_vertices_landmarks(self):
+        g = path_graph(5)
+        labelling, highway = build_highway_cover_labelling_stacked(g, [0, 1, 2, 3, 4])
+        assert labelling.size() == 0
+        assert highway.distance(0, 4) == 4.0
+
+    def test_no_landmarks_rejected(self, ba_graph):
+        with pytest.raises(LandmarkError):
+            build_highway_cover_labelling_stacked(ba_graph, [])
+
+    def test_out_of_range_landmark_rejected(self, ba_graph):
+        with pytest.raises(VertexError):
+            build_highway_cover_labelling_stacked(ba_graph, [ba_graph.num_vertices])
+
+    def test_bad_chunk_size_rejected(self, ba_graph):
+        with pytest.raises(ValueError):
+            build_highway_cover_labelling_stacked(ba_graph, [0], chunk_size=0)
+
+    def test_budget_exceeded_raises(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 10)
+        with pytest.raises(ConstructionBudgetExceeded):
+            build_highway_cover_labelling_stacked(ba_graph, landmarks, budget_s=1e-9)
+
+    def test_default_chunk_is_word_sized(self):
+        assert DEFAULT_CHUNK_SIZE == 64
+
+
+class TestEngineDispatch:
+    def test_unknown_engine_rejected(self, ba_graph):
+        with pytest.raises(ValueError):
+            build_highway_cover_labelling(ba_graph, [0], engine="quantum")
+
+    def test_dispatch_routes_to_stacked(self, ba_graph):
+        landmarks = select_landmarks(ba_graph, 6)
+        via_dispatch, _ = build_highway_cover_labelling(
+            ba_graph, landmarks, engine="stacked", chunk_size=2
+        )
+        direct, _ = build_highway_cover_labelling_stacked(
+            ba_graph, landmarks, chunk_size=2
+        )
+        assert via_dispatch == direct
+
+    def test_oracle_engine_parameter(self, ws_graph):
+        stacked = HighwayCoverOracle(num_landmarks=6, engine="stacked").build(ws_graph)
+        looped = HighwayCoverOracle(num_landmarks=6, engine="looped").build(ws_graph)
+        assert stacked.labelling == looped.labelling
+        assert np.array_equal(stacked.highway.matrix, looped.highway.matrix)
+
+
+class TestQueriesOnStackedIndex:
+    def test_queries_match_bfs(self, ws_graph):
+        """End-to-end: an index built by the engine answers exactly."""
+        oracle = HighwayCoverOracle(num_landmarks=8, chunk_size=3).build(ws_graph)
+        pairs = sample_vertex_pairs(ws_graph, 80, seed=17)
+        for s, t in pairs:
+            truth = bfs_distances(ws_graph, int(s))[int(t)]
+            expected = float(truth) if truth != UNREACHED else float("inf")
+            assert oracle.query(int(s), int(t)) == expected

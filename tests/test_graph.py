@@ -81,6 +81,34 @@ class TestDerivedGraphs:
         assert g2.num_edges == 2
         assert g2.has_edge(2, 3)
 
+    def test_with_edges_removed(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        g2 = g.with_edges_removed([(1, 2)])
+        assert g.num_edges == 3  # immutable original
+        assert g2.num_edges == 2
+        assert not g2.has_edge(1, 2)
+        assert g2.has_edge(0, 1) and g2.has_edge(2, 3)
+
+    def test_with_edges_removed_orientation_insensitive(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.with_edges_removed([(2, 1)]) == Graph(3, [(0, 1)])
+
+    def test_with_edges_removed_roundtrip(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+        assert g.with_edges_removed([(2, 3), (0, 5)]).with_edges_added(
+            [(2, 3), (0, 5)]
+        ) == g
+
+    def test_with_edges_removed_missing_edge_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.with_edges_removed([(1, 2)])
+
+    def test_with_edges_removed_out_of_range_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.with_edges_removed([(0, 7)])
+
     def test_equality(self):
         g1 = Graph(3, [(0, 1), (1, 2)])
         g2 = Graph(3, [(1, 2), (0, 1)])

@@ -6,6 +6,10 @@ invariant the paper proves is checked against a brute-force oracle:
 * HL queries equal BFS distances (Theorem 4.6);
 * labels match the Lemma 3.7 entry characterization (minimality);
 * labels are landmark-order independent (Lemma 3.11);
+* the stacked construction engine equals the looped builder bitwise,
+  at every chunk size;
+* dynamic ``insert_edge`` equals a fresh build under the stacked
+  engine, including same-level chord (no-op) edges;
 * upper bounds are admissible (Lemma 4.4);
 * all baselines agree with BFS on random inputs.
 """
@@ -19,6 +23,8 @@ from repro.baselines.fd import FullyDynamicOracle
 from repro.baselines.isl import ISLabelOracle
 from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.core.construction import build_highway_cover_labelling
+from repro.core.construction_engine import build_highway_cover_labelling_stacked
+from repro.core.dynamic import DynamicHighwayCoverOracle
 from repro.core.query import HighwayCoverOracle
 from repro.core.verification import labelling_entry_set, reference_minimal_entries
 from repro.graphs.graph import Graph
@@ -94,6 +100,50 @@ def test_order_independence(graph_landmarks, rnd):
         base_entries = {(landmarks[i], d) for i, d in base.label(v).entries()}
         perm_entries = {(shuffled[i], d) for i, d in perm.label(v).entries()}
         assert base_entries == perm_entries
+
+
+@given(graphs_with_landmarks(), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_stacked_engine_equals_looped_builder(graph_landmarks, chunk_size):
+    """Builder equivalence: the stacked engine is bitwise identical to
+    the looped builder at every chunk size."""
+    graph, landmarks = graph_landmarks
+    looped_l, looped_h = build_highway_cover_labelling(
+        graph, landmarks, engine="looped"
+    )
+    stacked_l, stacked_h = build_highway_cover_labelling_stacked(
+        graph, landmarks, chunk_size=chunk_size
+    )
+    assert stacked_l == looped_l
+    assert np.array_equal(stacked_h.matrix, looped_h.matrix)
+
+
+@given(graphs_with_landmarks(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_insert_edge_equals_fresh_build(graph_landmarks, data):
+    """Dynamic repair under the stacked engine: inserting any non-edge
+    (same-level chords included) leaves the oracle byte-identical to a
+    fresh stacked build on the updated graph."""
+    graph, landmarks = graph_landmarks
+    n = graph.num_vertices
+    non_edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if not graph.has_edge(u, v)
+    ]
+    if not non_edges:
+        return
+    u, v = data.draw(st.sampled_from(non_edges))
+    oracle = DynamicHighwayCoverOracle(landmarks=landmarks).build(graph)
+    before = oracle.labelling
+    affected = oracle.insert_edge(u, v)
+    if not affected:
+        # Same-level chord for every landmark: repair must be a no-op.
+        assert oracle.labelling is before
+    fresh = HighwayCoverOracle(landmarks=landmarks).build(oracle.graph)
+    assert oracle.labelling == fresh.labelling
+    assert np.array_equal(oracle.highway.matrix, fresh.highway.matrix)
 
 
 @given(graphs_with_landmarks(), st.data())
