@@ -4,13 +4,16 @@ Commands:
 
 * ``stats <edgelist>`` — Table-1-style statistics for a graph file.
 * ``build <edgelist> -o index.hl [-k 20] [--strategy degree]
-  [--engine stacked|looped] [--chunk-size C] [--parallel]`` — build and
+  [--engine stacked|looped] [--chunk-size C] [--parallel]
+  [--store vertex|landmark] [--format-version 1|2]`` — build and
   persist an HL index (the stacked engine is the default; all engines
-  produce byte-identical indexes).
-* ``query <edgelist> <index> s t [s t ...]`` — exact distances from a
-  saved index.
-* ``query-batch <edgelist> <index> [--pairs-file F | --random N]`` —
-  bulk exact distances through the vectorized batch engine.
+  and both label-store backends produce byte-identical indexes).
+* ``query <edgelist> <index> s t [s t ...] [--mmap]`` — exact distances
+  from a saved index; ``--mmap`` maps a v2 index zero-copy instead of
+  reading it into RAM.
+* ``query-batch <edgelist> <index> [--pairs-file F | --random N]
+  [--mmap]`` — bulk exact distances through the vectorized batch
+  engine.
 * ``bench-dataset <name>`` — build HL on one surrogate and report
   CT/ALS/size/coverage.
 * ``datasets`` — list the twelve surrogate networks.
@@ -71,14 +74,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
         parallel=args.parallel,
         engine=args.engine,
         chunk_size=args.chunk_size,
+        store=args.store,
     ).build(graph)
-    written = save_oracle(oracle, args.output)
+    written = save_oracle(oracle, args.output, version=args.format_version)
     builder = "HL-P" if args.parallel else f"HL/{args.engine}"
     print(
-        f"built {builder}(k={args.landmarks}, {args.strategy}) in "
+        f"built {builder}(k={args.landmarks}, {args.strategy}, "
+        f"store={args.store}) in "
         f"{oracle.construction_seconds:.2f}s; ALS="
         f"{oracle.average_label_size():.1f}; wrote {format_bytes(written)} "
-        f"to {args.output}"
+        f"(v{args.format_version}) to {args.output}"
     )
     return 0
 
@@ -88,7 +93,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("error: provide an even number of vertex ids (s t pairs)", file=sys.stderr)
         return 2
     graph = read_edge_list(args.graph)
-    oracle = load_oracle(graph, args.index)
+    oracle = load_oracle(graph, args.index, mmap=args.mmap)
     for i in range(0, len(args.vertices), 2):
         s, t = args.vertices[i], args.vertices[i + 1]
         d = oracle.query(s, t)
@@ -101,7 +106,7 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     import numpy as np
 
     graph = read_edge_list(args.graph)
-    oracle = load_oracle(graph, args.index)
+    oracle = load_oracle(graph, args.index, mmap=args.mmap)
     if args.pairs_file is not None:
         import warnings
 
@@ -199,12 +204,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="build with the chunk-parallel HL-P builder",
     )
+    p_build.add_argument(
+        "--store",
+        choices=("vertex", "landmark"),
+        default="vertex",
+        help="in-memory label-store backend (identical snapshot on disk)",
+    )
+    p_build.add_argument(
+        "--format-version",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="snapshot format: 2 (aligned, mmap-able) or 1 (legacy)",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="query distances from a saved index")
     p_query.add_argument("graph", help="edge-list file")
     p_query.add_argument("index", help="index file from 'build'")
     p_query.add_argument("vertices", nargs="+", type=int, help="s t [s t ...]")
+    p_query.add_argument(
+        "--mmap",
+        action="store_true",
+        help="map the v2 index zero-copy instead of reading it into RAM",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_batch = sub.add_parser(
@@ -221,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--random", type=int, default=1000, help="sample this many random pairs"
     )
     p_batch.add_argument("--seed", type=int, default=0, help="seed for --random")
+    p_batch.add_argument(
+        "--mmap",
+        action="store_true",
+        help="map the v2 index zero-copy instead of reading it into RAM",
+    )
     p_batch.set_defaults(func=_cmd_query_batch)
 
     p_bench = sub.add_parser("bench-dataset", help="profile HL on a surrogate")

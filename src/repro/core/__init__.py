@@ -8,11 +8,20 @@ Public entry points:
 * :func:`~repro.core.construction.build_highway_cover_labelling` —
   Algorithm 1 on its own.
 * :class:`~repro.core.highway.Highway` — the ``(R, δH)`` structure.
-* :class:`~repro.core.labels.HighwayCoverLabelling` — the label store.
+* :class:`~repro.core.labels.LabelStore` — the label-store protocol,
+  with a frozen vertex-major backend
+  (:class:`~repro.core.labels.HighwayCoverLabelling`) and a mutable
+  landmark-major backend
+  (:class:`~repro.core.labels.LandmarkMajorLabelStore`).
 """
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling, VertexLabel
+from repro.core.labels import (
+    HighwayCoverLabelling,
+    LabelStore,
+    LandmarkMajorLabelStore,
+    VertexLabel,
+)
 from repro.core.construction import build_highway_cover_labelling, pruned_bfs_from_landmark
 from repro.core.construction_engine import (
     build_highway_cover_labelling_stacked,
@@ -36,6 +45,8 @@ from repro.core.serialization import load_oracle, save_oracle
 __all__ = [
     "Highway",
     "HighwayCoverLabelling",
+    "LabelStore",
+    "LandmarkMajorLabelStore",
     "VertexLabel",
     "build_highway_cover_labelling",
     "build_highway_cover_labelling_parallel",

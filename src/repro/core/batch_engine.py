@@ -40,7 +40,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling
+from repro.core.labels import LabelStore
 from repro.errors import VertexError
 from repro.graphs.graph import Graph
 from repro.search.bounded import (
@@ -86,7 +86,9 @@ class BatchQueryEngine:
 
     Args:
         graph: the indexed graph ``G``.
-        labelling: the frozen label store ``L``.
+        labelling: the label store ``L`` (any backend; the engine
+            snapshots its frozen vertex-major view, whose flat CSR
+            arrays the label gather slices).
         highway: the highway ``H = (R, δH)``.
         max_stacked_expansions: pairs whose bound needs at most this many
             wave expansions (``bound <= max_stacked_expansions + 2``, with
@@ -99,12 +101,12 @@ class BatchQueryEngine:
     def __init__(
         self,
         graph: Graph,
-        labelling: HighwayCoverLabelling,
+        labelling: LabelStore,
         highway: Highway,
         max_stacked_expansions: int = 3,
     ) -> None:
         self.graph = graph
-        self.labelling = labelling
+        self.labelling = labelling.as_vertex_major()
         self.highway = highway
         self.max_stacked_expansions = max_stacked_expansions
         self.landmark_mask = highway.landmark_mask(graph.num_vertices)

@@ -21,11 +21,11 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling
+from repro.core.labels import LabelStore
 
 
 def upper_bound_distance(
-    labelling: HighwayCoverLabelling, highway: Highway, s: int, t: int
+    labelling: LabelStore, highway: Highway, s: int, t: int
 ) -> float:
     """Compute ``d⊤(s, t)`` for two non-landmark vertices.
 
@@ -58,11 +58,13 @@ def _common_landmark_bound(
     )
     if common.size == 0:
         return float("inf")
-    return float((ls_dist[s_pos] + lt_dist[t_pos]).min())
+    # Promote before summing: mmap-backed stores hand out u8 distance
+    # views, and two sub-256 legs can sum past the u8 range.
+    return float((ls_dist[s_pos].astype(np.int64) + lt_dist[t_pos]).min())
 
 
 def upper_bound_with_witness(
-    labelling: HighwayCoverLabelling, highway: Highway, s: int, t: int
+    labelling: LabelStore, highway: Highway, s: int, t: int
 ) -> Tuple[float, int, int]:
     """Like :func:`upper_bound_distance` but also reports the arg-min.
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling
+from repro.core.labels import HighwayCoverLabelling, LabelStore
 from repro.errors import CompressionError
 
 _OFFSET_BYTES_PER_VERTEX = 8
@@ -49,7 +49,7 @@ class LabelCodec:
     def max_landmarks(self) -> int:
         return self._MAX_LANDMARKS[self.kind]
 
-    def validate(self, labelling: HighwayCoverLabelling, highway: Highway) -> None:
+    def validate(self, labelling: LabelStore, highway: Highway) -> None:
         """Check the labelling actually fits this codec.
 
         Raises:
@@ -60,22 +60,24 @@ class LabelCodec:
                 f"{highway.num_landmarks} landmarks exceed codec {self.kind!r} "
                 f"capacity of {self.max_landmarks}"
             )
+        labelling = labelling.as_vertex_major()
         if labelling.size() and int(labelling.distances.max()) > 255:
             raise CompressionError("distances exceed the 8-bit distance field")
 
 
 def encoded_size_bytes(
-    labelling: HighwayCoverLabelling, highway: Highway, codec: LabelCodec
+    labelling: LabelStore, highway: Highway, codec: LabelCodec
 ) -> int:
     """Total bytes for labels + offsets + highway under ``codec`` (Table 3)."""
     codec.validate(labelling, highway)
+    labelling = labelling.as_vertex_major()
     entry_bytes = labelling.size() * codec.bytes_per_entry
     offset_bytes = labelling.num_vertices * _OFFSET_BYTES_PER_VERTEX
     return entry_bytes + offset_bytes + highway.size_bytes(bytes_per_entry=1)
 
 
 def encode_labels(
-    labelling: HighwayCoverLabelling, codec: LabelCodec
+    labelling: LabelStore, codec: LabelCodec
 ) -> tuple:
     """Materialize the entry arrays at the codec's width (round-trippable).
 
@@ -83,6 +85,7 @@ def encode_labels(
     by tests to prove the compression is lossless under the validated
     preconditions, and by :func:`decode_labels`.
     """
+    labelling = labelling.as_vertex_major()
     codec_dtype = np.uint8 if codec.kind == "u8" else np.uint32
     if labelling.size():
         if labelling.landmark_indices.max(initial=0) >= codec.max_landmarks:

@@ -39,7 +39,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
+from repro.core.labels import LabelAccumulator, LabelStore
 from repro.errors import LandmarkError
 from repro.graphs.csr import frontier_neighbors
 from repro.graphs.graph import Graph
@@ -130,7 +130,8 @@ def build_highway_cover_labelling(
     budget_s: Optional[float] = None,
     engine: str = "stacked",
     chunk_size: Optional[int] = None,
-) -> Tuple[HighwayCoverLabelling, Highway]:
+    store: str = "vertex",
+) -> Tuple[LabelStore, Highway]:
     """Algorithm 1 over all landmarks (the method the paper calls HL).
 
     Args:
@@ -147,6 +148,9 @@ def build_highway_cover_labelling(
             produce byte-identical output.
         chunk_size: stacked engine only — landmarks in flight per pass
             (bounds memory; ignored by the looped engine).
+        store: label-store backend to emit — ``"vertex"`` (frozen CSR)
+            or ``"landmark"`` (mutable landmark-major runs); the logical
+            labelling is identical (see :mod:`repro.core.labels`).
 
     Returns:
         ``(labelling, highway)`` with the highway matrix fully populated.
@@ -157,7 +161,7 @@ def build_highway_cover_labelling(
         )
 
         return build_highway_cover_labelling_stacked(
-            graph, landmarks, budget_s=budget_s, chunk_size=chunk_size
+            graph, landmarks, budget_s=budget_s, chunk_size=chunk_size, store=store
         )
     if engine != "looped":
         raise ValueError(f"unknown construction engine {engine!r}")
@@ -177,4 +181,4 @@ def build_highway_cover_labelling(
         )
         accumulator.add_landmark_result(index, vertices, distances)
         highway.set_row(int(landmark), row)
-    return accumulator.freeze(), highway
+    return accumulator.freeze_as(store), highway

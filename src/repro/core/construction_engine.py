@@ -48,7 +48,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
+from repro.core.labels import LabelAccumulator, LabelStore
 from repro.errors import LandmarkError
 from repro.graphs.csr import bitset_neighbor_or
 from repro.graphs.graph import Graph
@@ -204,7 +204,8 @@ def build_highway_cover_labelling_stacked(
     landmarks: Sequence[int],
     budget_s: Optional[float] = None,
     chunk_size: Optional[int] = None,
-) -> Tuple[HighwayCoverLabelling, Highway]:
+    store: str = "vertex",
+) -> Tuple[LabelStore, Highway]:
     """Algorithm 1 over all landmarks via the stacked engine (HL-C).
 
     Args:
@@ -215,6 +216,8 @@ def build_highway_cover_labelling_stacked(
         chunk_size: landmarks advanced together per pass (default
             :data:`DEFAULT_CHUNK_SIZE`); bounds peak BFS state to
             ``O(chunk_size * n / 8)`` bytes.
+        store: label-store backend to emit (``"vertex"`` or
+            ``"landmark"``, see :mod:`repro.core.labels`).
 
     Returns:
         ``(labelling, highway)`` — byte-identical to the looped builder.
@@ -241,4 +244,4 @@ def build_highway_cover_labelling_stacked(
         for slot, index in enumerate(range(start, stop)):
             accumulator.add_landmark_result(index, per_vertices[slot], per_distances[slot])
             highway.set_row(int(landmark_ids[index]), rows[slot])
-    return accumulator.freeze(), highway
+    return accumulator.freeze_as(store), highway

@@ -1,49 +1,60 @@
-"""Dynamic edge insertions for the highway cover labelling (extension).
+"""Dynamic edge updates for the highway cover labelling (extension).
 
 The paper's closest competitor (FD) is "fully dynamic"; HL itself is
-presented as static. This module extends HL with *edge-insertion*
-maintenance, exploiting two structural facts:
+presented as static. This module extends HL with *edge-insertion and
+edge-deletion* maintenance, exploiting two structural facts:
 
 1. Landmark-locality. The entries contributed by landmark ``r`` depend
-   only on the shortest-path DAG rooted at ``r``. Inserting edge
-   ``(u, v)`` can alter that DAG **only if** ``|d(r, u) − d(r, v)| >= 1``
+   only on the shortest-path DAG rooted at ``r``. An edge ``(u, v)``
+   can participate in that DAG **only if** ``|d(r, u) − d(r, v)| >= 1``
    in the old graph — an edge between equal BFS levels lies on no
-   shortest path from ``r``, before or after the insertion.
+   shortest path from ``r``. So an insertion can alter the DAG only if
+   the endpoints sat on different levels, and a deletion can alter it
+   only if the removed edge connected adjacent levels (for an existing
+   edge, ``|d(r, u) − d(r, v)| <= 1``, so both cases collapse to the
+   same test: ``d(r, u) != d(r, v)``).
 2. Exact landmark distances are already decodable from the labels plus
    the highway (the landmark-to-vertex query of
    :class:`~repro.core.query.HighwayCoverOracle`), so the affected set is
    computable without touching the graph.
 
-The repair therefore reruns Algorithm 1's pruned BFS *only for affected
+The repair reruns Algorithm 1's pruned BFS *only for affected
 landmarks* — all of them advanced together in one pass of the stacked
-engine (:func:`~repro.core.construction_engine.stacked_pruned_bfs`) —
-and splices the new per-landmark entries into the label store
-— typically a small fraction of a full rebuild for local updates. The
-result is asserted (by the test suite) to be byte-identical to a fresh
-build on the updated graph, so all of the paper's theorems keep holding
-after every insertion.
+engine (:func:`~repro.core.construction_engine.stacked_pruned_bfs`),
+reusing the oracle's configured ``chunk_size`` — and splices the new
+runs into the landmark-major label store
+(:class:`~repro.core.labels.LandmarkMajorLabelStore`) in O(affected
+entries): the unaffected ``k - |affected|`` landmarks are never read,
+copied, or scanned. The result is asserted (by the test suite) to be
+byte-identical to a fresh build on the updated graph, so all of the
+paper's theorems keep holding after every update.
 
-Edge deletions can increase distances and invalidate pruning decisions
-non-locally; following FD's original paper (which handles deletions with
-periodic rebuilds), :meth:`DynamicHighwayCoverOracle.delete_edge`
-performs a full rebuild.
+For deletions the same argument applies: if no shortest path from ``r``
+used the removed edge, every shortest path from ``r`` survives, hence
+``r``'s distances, DAG, and label run are all unchanged; otherwise the
+rerun pruned BFS on the new graph recomputes them exactly (including
+distance growth and disconnection).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.core.construction_engine import stacked_pruned_bfs
-from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
+from repro.core.construction_engine import DEFAULT_CHUNK_SIZE, stacked_pruned_bfs
 from repro.core.query import HighwayCoverOracle
-from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
 
 
 class DynamicHighwayCoverOracle(HighwayCoverOracle):
-    """HL with incremental edge-insertion maintenance.
+    """HL with incremental edge-insertion and edge-deletion maintenance.
+
+    The label store defaults to the landmark-major backend
+    (``store="landmark"``), the update-optimal layout repairs splice
+    into; point queries still work directly against it, and bulk
+    consumers (the batch engine, serialization) snapshot the frozen
+    vertex-major view on demand.
 
     Example:
         >>> from repro.graphs.generators import barabasi_albert_graph
@@ -54,6 +65,7 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
     """
 
     name = "HL-dyn"
+    default_store = "landmark"
 
     def insert_edge(self, u: int, v: int) -> List[int]:
         """Insert an undirected edge and repair labels incrementally.
@@ -66,7 +78,7 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
             (useful for instrumentation; empty when the edge was a
             same-level chord affecting no landmark).
         """
-        graph, labelling, highway = self._require_built()
+        graph, _, _ = self._require_built()
         graph.validate_vertex(u)
         graph.validate_vertex(v)
         if u == v:
@@ -76,78 +88,89 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
 
         affected = self._affected_landmarks(u, v)
         new_graph = graph.with_edges_added([(u, v)])
+        return self._apply_update(new_graph, affected)
+
+    def delete_edge(self, u: int, v: int) -> List[int]:
+        """Delete an undirected edge and repair labels incrementally.
+
+        Distances from an affected landmark may *grow* (or become
+        infinite), but the rerun pruned BFS recomputes them exactly on
+        the new graph; unaffected landmarks had no shortest path through
+        the edge, so their runs are provably unchanged (module
+        docstring). The repair reuses the oracle's configured stacked
+        engine settings, like :meth:`insert_edge`.
+
+        Returns:
+            The list of landmark vertex ids whose pruned BFS was rerun,
+            mirroring :meth:`insert_edge`.
+        """
+        graph, _, _ = self._require_built()
+        if not graph.has_edge(u, v):
+            raise ValueError(f"edge ({u}, {v}) does not exist")
+        affected = self._affected_landmarks(u, v)
+        new_graph = graph.with_edges_removed([(u, v)])
+        return self._apply_update(new_graph, affected)
+
+    # -- Internals -----------------------------------------------------------
+
+    def _apply_update(self, new_graph: Graph, affected: List[int]) -> List[int]:
         if affected:
             self._repair(new_graph, affected)
         self.graph = new_graph
         self._batch_engine = None  # engine snapshots graph + labels
         return affected
 
-    def delete_edge(self, u: int, v: int) -> None:
-        """Delete an edge; distances may grow, so rebuild from scratch."""
-        graph, _, _ = self._require_built()
-        if not graph.has_edge(u, v):
-            raise ValueError(f"edge ({u}, {v}) does not exist")
-        new_graph = graph.with_edges_removed([(u, v)])
-        # Preserve the original landmark set across the rebuild.
-        self._explicit_landmarks = [int(r) for r in self.highway.landmarks]
-        self.build(new_graph)
+    def _distances_from_landmarks(self, vertex: int) -> np.ndarray:
+        """Exact ``d(r, x)`` for *every* landmark ``r`` in one shot.
 
-    # -- Internals -----------------------------------------------------------
-
-    def _distance_to_landmark(self, r_vertex: int, vertex: int) -> float:
-        """Exact ``d(r, x)`` in the *current* graph (labels + highway)."""
+        One broadcast of ``L(x)`` against the highway matrix (the
+        vectorized form of the landmark-to-vertex query), so the
+        affected-set test reads ``L(x)`` once instead of once per
+        landmark.
+        """
+        highway = self.highway
         if self._landmark_mask[vertex]:
-            return self.highway.distance(r_vertex, vertex)
-        return self._landmark_to_vertex(r_vertex, vertex)
+            return highway.matrix[highway.index_of[int(vertex)]]
+        idx, dist = self.labelling.label_arrays(vertex)
+        if len(idx) == 0:
+            return np.full(highway.num_landmarks, np.inf)
+        return (highway.matrix[:, idx] + dist.astype(np.int64)).min(axis=1)
 
     def _affected_landmarks(self, u: int, v: int) -> List[int]:
-        """Landmarks whose shortest-path DAG the new edge can change."""
-        affected = []
-        for r in self.highway.landmarks:
-            r = int(r)
-            du = self._distance_to_landmark(r, u)
-            dv = self._distance_to_landmark(r, v)
-            if du != dv:  # includes the inf vs finite (reconnection) case
-                affected.append(r)
-        return affected
+        """Landmarks whose shortest-path DAG the edge update can change."""
+        du = self._distances_from_landmarks(u)
+        dv = self._distances_from_landmarks(v)
+        # du != dv includes the inf vs finite (re/disconnection) case.
+        return [int(r) for r in self.highway.landmarks[du != dv]]
 
     def _repair(self, new_graph: Graph, affected: List[int]) -> None:
         """Rerun the pruned BFSs of all affected landmarks in one stacked
-        pass and splice the results into the label store."""
-        labelling = self.labelling
+        pass and splice the new runs into the landmark-major store —
+        O(affected entries); unaffected landmarks are never touched."""
+        store = self.labelling.as_landmark_major()
         highway = self.highway
         landmark_ids = highway.landmarks
         mask = self._landmark_mask
         affected_set = {int(r) for r in affected}
         # Roots in landmark-index order, so slots align with the passes.
-        roots = np.asarray(
-            [int(r) for r in landmark_ids if int(r) in affected_set], dtype=np.int64
+        indices = [
+            index for index, r in enumerate(landmark_ids) if int(r) in affected_set
+        ]
+        # Honour the oracle's configured memory bound, as build() does.
+        chunk = self.chunk_size or DEFAULT_CHUNK_SIZE
+        for start in range(0, len(indices), chunk):
+            batch = indices[start : start + chunk]
+            per_vertices, per_distances, rows = stacked_pruned_bfs(
+                new_graph, landmark_ids[batch], mask, landmark_ids
+            )
+            for slot, index in enumerate(batch):
+                store.set_landmark_result(
+                    index, per_vertices[slot], per_distances[slot]
+                )
+                highway.set_row(int(landmark_ids[index]), rows[slot])
+        # Honour the configured backend: an explicit store="vertex" oracle
+        # keeps its query-optimal layout at the cost of one transpose per
+        # update (the landmark-major default splices with no transpose).
+        self.labelling = (
+            store if self.store == "landmark" else store.as_vertex_major()
         )
-        per_vertices, per_distances, rows = stacked_pruned_bfs(
-            new_graph, roots, mask, landmark_ids
-        )
-
-        accumulator = LabelAccumulator(new_graph.num_vertices, len(landmark_ids))
-        slot = 0
-        for index, r in enumerate(landmark_ids):
-            if int(r) in affected_set:
-                vertices, distances = per_vertices[slot], per_distances[slot]
-                highway.set_row(int(r), rows[slot])
-                slot += 1
-            else:
-                vertices, distances = _entries_of_landmark(labelling, index)
-            accumulator.add_landmark_result(index, vertices, distances)
-        self.labelling = accumulator.freeze()
-
-
-def _entries_of_landmark(
-    labelling: HighwayCoverLabelling, landmark_index: int
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Extract one landmark's (vertices, distances) from the CSR store."""
-    positions = np.flatnonzero(labelling.landmark_indices == landmark_index)
-    if positions.size == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32)
-    vertices = np.searchsorted(
-        labelling.offsets, positions, side="right"
-    ).astype(np.int64) - 1
-    return vertices, labelling.distances[positions].astype(np.int32)

@@ -1,16 +1,34 @@
-"""The highway cover label store.
+"""The pluggable highway cover label store.
 
 Labels map each non-landmark vertex ``v`` to a small set of distance
-entries ``(landmark_index, distance)``. After construction the store is
-frozen into a CSR-of-labels: two flat numpy arrays plus an offset array,
-which is both compact (Table 3's byte accounting reads straight off it)
-and fast to slice at query time.
+entries ``(landmark_index, distance)``. The same logical labelling
+``L`` admits two physical layouts with opposite strengths, so the store
+is a protocol (:class:`LabelStore`) with two backends:
+
+* :class:`HighwayCoverLabelling` — the frozen **vertex-major** CSR:
+  two flat numpy arrays plus an offset array. Query-optimal: ``L(v)``
+  is a contiguous slice, Table 3's byte accounting reads straight off
+  the arrays, and the whole store serializes as-is.
+* :class:`LandmarkMajorLabelStore` — the mutable **landmark-major**
+  store: one ``(vertices, distances)`` run per landmark, sorted by
+  vertex id. Update-optimal: replacing one landmark's pruned-BFS output
+  (what dynamic repair does) splices a single run in O(affected
+  entries) instead of rebuilding the whole CSR.
+
+Conversion between the two is a vectorized transpose (one stable
+counting sort over the flat entry arrays — no Python loop over
+landmarks), and the landmark-major store caches its frozen view so
+read-heavy phases between mutations pay the transpose once.
+
+Both backends compare equal when they hold the same logical labelling;
+equality is defined on the canonical vertex-major form.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,8 +50,81 @@ class VertexLabel:
             yield int(r), int(d)
 
 
-class HighwayCoverLabelling:
-    """Frozen per-vertex labels over a fixed landmark set.
+class LabelStore(ABC):
+    """Protocol every label-store backend implements.
+
+    The read API is layout-agnostic: per-vertex access (``label_arrays``)
+    serves the query side, per-landmark access (``entries_of_landmark``)
+    serves construction and dynamic repair, and ``as_vertex_major`` /
+    ``as_landmark_major`` convert between backends (returning ``self``
+    when already in the requested layout).
+    """
+
+    num_vertices: int
+    num_landmarks: int
+
+    # -- Per-vertex access (query side) -------------------------------------
+
+    @abstractmethod
+    def label_arrays(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(landmark_indices, distances)`` of ``L(v)``, landmark-ascending."""
+
+    def label(self, v: int) -> VertexLabel:
+        """The label ``L(v)`` (empty for landmarks)."""
+        idx, dist = self.label_arrays(v)
+        return VertexLabel(idx, dist)
+
+    def label_size(self, v: int) -> int:
+        return len(self.label_arrays(v)[0])
+
+    # -- Per-landmark access (construction / repair side) -------------------
+
+    @abstractmethod
+    def entries_of_landmark(self, landmark_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One landmark's ``(vertices, distances)`` run, vertex-ascending."""
+
+    # -- Whole-store accounting ---------------------------------------------
+
+    @abstractmethod
+    def size(self) -> int:
+        """Total number of distance entries, ``size(L) = Σ_v |L(v)|``."""
+
+    def average_label_size(self) -> float:
+        """ALS as reported in Table 2 (entries per vertex)."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.size() / self.num_vertices
+
+    # -- Layout conversion ----------------------------------------------------
+
+    @abstractmethod
+    def as_vertex_major(self) -> "HighwayCoverLabelling":
+        """This labelling as a frozen vertex-major CSR (self if already)."""
+
+    @abstractmethod
+    def as_landmark_major(self) -> "LandmarkMajorLabelStore":
+        """This labelling as a mutable landmark-major store (self if already)."""
+
+    # -- Equality (canonical form) --------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelStore):
+            return NotImplemented
+        a, b = self.as_vertex_major(), other.as_vertex_major()
+        return (
+            a.num_vertices == b.num_vertices
+            and a.num_landmarks == b.num_landmarks
+            and np.array_equal(a.offsets, b.offsets)
+            and np.array_equal(a.landmark_indices, b.landmark_indices)
+            and np.array_equal(a.distances, b.distances)
+        )
+
+    def __hash__(self) -> int:  # stores compare by content; id hash is fine
+        return id(self)
+
+
+class HighwayCoverLabelling(LabelStore):
+    """Frozen vertex-major labels over a fixed landmark set.
 
     Build with :class:`LabelAccumulator`; query with :meth:`label` /
     :meth:`label_arrays`. ``size()`` is the paper's labelling size
@@ -59,11 +150,6 @@ class HighwayCoverLabelling:
         self.landmark_indices = landmark_indices
         self.distances = distances
 
-    def label(self, v: int) -> VertexLabel:
-        """The label ``L(v)`` (empty for landmarks)."""
-        lo, hi = self.offsets[v], self.offsets[v + 1]
-        return VertexLabel(self.landmark_indices[lo:hi], self.distances[lo:hi])
-
     def label_arrays(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
         """Raw ``(landmark_indices, distances)`` views for ``L(v)``."""
         lo, hi = self.offsets[v], self.offsets[v + 1]
@@ -73,47 +159,206 @@ class HighwayCoverLabelling:
         return int(self.offsets[v + 1] - self.offsets[v])
 
     def size(self) -> int:
-        """Total number of distance entries, ``size(L) = Σ_v |L(v)|``."""
         return int(len(self.landmark_indices))
 
-    def average_label_size(self) -> float:
-        """ALS as reported in Table 2 (entries per vertex)."""
-        if self.num_vertices == 0:
-            return 0.0
-        return self.size() / self.num_vertices
+    def entries_of_landmark(self, landmark_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One landmark's run, by scanning the flat arrays (O(size(L))).
 
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, HighwayCoverLabelling):
-            return NotImplemented
+        Extracting *every* landmark this way is quadratic; use
+        :meth:`as_landmark_major` (one vectorized transpose) instead.
+        """
+        positions = np.flatnonzero(self.landmark_indices == landmark_index)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32)
+        vertices = np.searchsorted(
+            self.offsets, positions, side="right"
+        ).astype(np.int64) - 1
+        return vertices, self.distances[positions].astype(np.int32)
+
+    def as_vertex_major(self) -> "HighwayCoverLabelling":
+        return self
+
+    def as_landmark_major(self) -> "LandmarkMajorLabelStore":
+        """Transpose into per-landmark runs — one stable sort, no k-loop."""
+        entry_vertices = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self.offsets)
+        )
+        # CSR order is vertex-ascending, so a stable sort by landmark
+        # yields runs that are already vertex-ascending within each landmark.
+        order = np.argsort(self.landmark_indices, kind="stable")
+        counts = np.bincount(
+            np.asarray(self.landmark_indices, dtype=np.int64),
+            minlength=self.num_landmarks,
+        )
+        splits = np.cumsum(counts)[:-1]
+        runs_vertices = np.split(entry_vertices[order], splits)
+        runs_distances = np.split(
+            np.asarray(self.distances, dtype=np.int32)[order], splits
+        )
+        store = LandmarkMajorLabelStore(
+            self.num_vertices, self.num_landmarks, runs_vertices, runs_distances
+        )
+        store._frozen = self  # seed the cache: no transpose until first mutation
+        return store
+
+
+class LandmarkMajorLabelStore(LabelStore):
+    """Mutable landmark-major labels: one sorted run per landmark.
+
+    The layout mirrors what Algorithm 1 produces — for each landmark
+    index ``r``, the vertices it labels and their distances — so dynamic
+    repair can install a rerun landmark's output with
+    :meth:`set_landmark_result` in O(len(run)) without touching the
+    other ``k - 1`` landmarks. Runs are kept sorted by vertex id, which
+    makes per-vertex access a binary search per landmark and makes the
+    vertex-major transpose a stable counting sort.
+
+    Args:
+        num_vertices: ``n``.
+        num_landmarks: ``k``.
+        runs_vertices / runs_distances: optional initial runs (one pair
+            per landmark, vertex-ascending); empty runs when omitted.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_landmarks: int,
+        runs_vertices: Optional[Sequence[np.ndarray]] = None,
+        runs_distances: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.num_landmarks = num_landmarks
+        if (runs_vertices is None) != (runs_distances is None):
+            raise ReproError("runs_vertices and runs_distances come together")
+        if runs_vertices is None:
+            runs_vertices = [
+                np.empty(0, dtype=np.int64) for _ in range(num_landmarks)
+            ]
+            runs_distances = [
+                np.empty(0, dtype=np.int32) for _ in range(num_landmarks)
+            ]
+        if len(runs_vertices) != num_landmarks or len(runs_distances) != num_landmarks:
+            raise ReproError("need one (vertices, distances) run per landmark")
+        for vertices, distances in zip(runs_vertices, runs_distances):
+            if len(vertices) != len(distances):
+                raise ReproError("vertices/distances length mismatch")
+        self._runs_vertices: List[np.ndarray] = list(runs_vertices)
+        self._runs_distances: List[np.ndarray] = list(runs_distances)
+        self._total = sum(len(v) for v in self._runs_vertices)
+        self._frozen: Optional[HighwayCoverLabelling] = None
+
+    # -- Mutation (the whole point of this backend) -------------------------
+
+    def set_landmark_result(
+        self, landmark_index: int, vertices: np.ndarray, distances: np.ndarray
+    ) -> None:
+        """Replace one landmark's run with fresh pruned-BFS output.
+
+        O(len(run) log len(run)) for the canonicalizing sort; the other
+        landmarks' runs are untouched. Invalidates the cached frozen view.
+        """
+        if not 0 <= landmark_index < self.num_landmarks:
+            raise ReproError(f"landmark index {landmark_index} out of range")
+        if len(vertices) != len(distances):
+            raise ReproError("vertices/distances length mismatch")
+        vertices = np.asarray(vertices, dtype=np.int64)
+        distances = np.asarray(distances, dtype=np.int32)
+        order = np.argsort(vertices, kind="stable")
+        self._total += len(vertices) - len(self._runs_vertices[landmark_index])
+        self._runs_vertices[landmark_index] = vertices[order]
+        self._runs_distances[landmark_index] = distances[order]
+        self._frozen = None
+
+    # -- Reads ----------------------------------------------------------------
+
+    def label_arrays(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``L(v)`` by binary-searching each landmark's sorted run.
+
+        O(k log n) per call — fine for point queries; bulk consumers
+        (batch engine, serialization) snapshot :meth:`as_vertex_major`.
+        """
+        idx: List[int] = []
+        dist: List[int] = []
+        for r in range(self.num_landmarks):
+            run = self._runs_vertices[r]
+            pos = int(np.searchsorted(run, v))
+            if pos < len(run) and int(run[pos]) == v:
+                idx.append(r)
+                dist.append(int(self._runs_distances[r][pos]))
         return (
-            self.num_vertices == other.num_vertices
-            and self.num_landmarks == other.num_landmarks
-            and np.array_equal(self.offsets, other.offsets)
-            and np.array_equal(self.landmark_indices, other.landmark_indices)
-            and np.array_equal(self.distances, other.distances)
+            np.asarray(idx, dtype=np.int32),
+            np.asarray(dist, dtype=np.int32),
         )
 
-    def __hash__(self) -> int:  # labels are frozen; id-based hash is fine
-        return id(self)
+    def entries_of_landmark(self, landmark_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        # Read-only views: callers must go through set_landmark_result so
+        # the size total and the cached frozen view stay in sync.
+        vertices = self._runs_vertices[landmark_index].view()
+        distances = self._runs_distances[landmark_index].view()
+        vertices.setflags(write=False)
+        distances.setflags(write=False)
+        return vertices, distances
+
+    def size(self) -> int:
+        return int(self._total)
+
+    # -- Layout conversion ----------------------------------------------------
+
+    def as_vertex_major(self) -> HighwayCoverLabelling:
+        """Transpose into the frozen CSR (cached until the next mutation).
+
+        One concatenation plus one stable sort by vertex over the flat
+        entry arrays; because runs are concatenated in landmark order,
+        stability leaves each vertex's entries landmark-ascending —
+        byte-identical to :class:`LabelAccumulator`'s historical output.
+        """
+        if self._frozen is None:
+            if self._total:
+                all_vertices = np.concatenate(self._runs_vertices)
+                all_landmarks = np.repeat(
+                    np.arange(self.num_landmarks, dtype=np.int32),
+                    [len(v) for v in self._runs_vertices],
+                )
+                all_distances = np.concatenate(self._runs_distances)
+                counts = np.bincount(all_vertices, minlength=self.num_vertices)
+                offsets = np.zeros(self.num_vertices + 1, dtype=np.int64)
+                np.cumsum(counts, out=offsets[1:])
+                order = np.argsort(all_vertices, kind="stable")
+                landmark_indices = all_landmarks[order]
+                distances = all_distances[order].astype(np.int32)
+            else:
+                offsets = np.zeros(self.num_vertices + 1, dtype=np.int64)
+                landmark_indices = np.empty(0, dtype=np.int32)
+                distances = np.empty(0, dtype=np.int32)
+            self._frozen = HighwayCoverLabelling(
+                num_vertices=self.num_vertices,
+                num_landmarks=self.num_landmarks,
+                offsets=offsets,
+                landmark_indices=landmark_indices,
+                distances=distances,
+            )
+        return self._frozen
+
+    def as_landmark_major(self) -> "LandmarkMajorLabelStore":
+        return self
 
 
 class LabelAccumulator:
     """Mutable builder that collects per-landmark BFS output.
 
     Algorithm 1 produces, for each landmark index ``r``, the list of
-    vertices it labels and their distances. The accumulator stores one
-    (vertices, distances) pair per landmark and transposes everything into
-    the per-vertex CSR on :meth:`freeze`. Because each landmark's pruned
-    BFS is independent (Lemma 3.11), this transpose is also what makes the
-    parallel builder trivially correct: results can arrive in any order.
+    vertices it labels and their distances — exactly the landmark-major
+    layout — so the accumulator is a thin fill-once guard over a
+    :class:`LandmarkMajorLabelStore`. Because each landmark's pruned BFS
+    is independent (Lemma 3.11), results can arrive in any order, which
+    is what makes the parallel builder trivially correct.
     """
 
     def __init__(self, num_vertices: int, num_landmarks: int) -> None:
         self.num_vertices = num_vertices
         self.num_landmarks = num_landmarks
-        self._per_landmark: List[Tuple[np.ndarray, np.ndarray]] = [
-            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32))
-        ] * num_landmarks
+        self._store = LandmarkMajorLabelStore(num_vertices, num_landmarks)
         self._filled = [False] * num_landmarks
 
     def add_landmark_result(
@@ -122,43 +367,32 @@ class LabelAccumulator:
         """Install the pruned-BFS output of one landmark (any order)."""
         if self._filled[landmark_index]:
             raise ReproError(f"landmark index {landmark_index} filled twice")
-        if len(vertices) != len(distances):
-            raise ReproError("vertices/distances length mismatch")
-        self._per_landmark[landmark_index] = (
-            np.asarray(vertices, dtype=np.int64),
-            np.asarray(distances, dtype=np.int32),
-        )
+        self._store.set_landmark_result(landmark_index, vertices, distances)
         self._filled[landmark_index] = True
 
-    def freeze(self) -> HighwayCoverLabelling:
-        """Transpose per-landmark results into the per-vertex CSR store.
-
-        Entries within each vertex label come out sorted by landmark index
-        (guaranteed by stable counting sort over landmark-major input).
-        """
+    def _require_complete(self) -> None:
         if not all(self._filled):
             missing = [i for i, f in enumerate(self._filled) if not f]
             raise ReproError(f"missing landmark results: {missing}")
-        total = sum(len(v) for v, _ in self._per_landmark)
-        counts = np.zeros(self.num_vertices + 1, dtype=np.int64)
-        for vertices, _ in self._per_landmark:
-            if len(vertices):
-                np.add.at(counts, vertices + 1, 1)
-        offsets = np.cumsum(counts)
-        landmark_indices = np.empty(total, dtype=np.int32)
-        distances = np.empty(total, dtype=np.int32)
-        cursor = offsets[:-1].copy()
-        for r, (vertices, dists) in enumerate(self._per_landmark):
-            if not len(vertices):
-                continue
-            slots = cursor[vertices]
-            landmark_indices[slots] = r
-            distances[slots] = dists
-            cursor[vertices] += 1
-        return HighwayCoverLabelling(
-            num_vertices=self.num_vertices,
-            num_landmarks=self.num_landmarks,
-            offsets=offsets,
-            landmark_indices=landmark_indices,
-            distances=distances,
-        )
+
+    def freeze(self) -> HighwayCoverLabelling:
+        """All landmarks' results as the frozen vertex-major CSR.
+
+        Entries within each vertex label come out sorted by landmark
+        index (guaranteed by the stable transpose sort).
+        """
+        self._require_complete()
+        return self._store.as_vertex_major()
+
+    def freeze_landmark_major(self) -> LandmarkMajorLabelStore:
+        """All landmarks' results as the mutable landmark-major store."""
+        self._require_complete()
+        return self._store
+
+    def freeze_as(self, store: str) -> LabelStore:
+        """Freeze into the named backend (``"vertex"`` or ``"landmark"``)."""
+        if store == "vertex":
+            return self.freeze()
+        if store == "landmark":
+            return self.freeze_landmark_major()
+        raise ValueError(f"unknown label store backend {store!r}")

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.construction_engine import DEFAULT_CHUNK_SIZE, stacked_pruned_bfs
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling, LabelAccumulator
+from repro.core.labels import LabelAccumulator, LabelStore
 from repro.errors import LandmarkError
 from repro.graphs.graph import Graph
 from repro.utils.timing import TimeBudget
@@ -65,7 +65,8 @@ def build_highway_cover_labelling_parallel(
     workers: Optional[int] = None,
     backend: str = "thread",
     chunk_size: Optional[int] = None,
-) -> Tuple[HighwayCoverLabelling, Highway]:
+    store: str = "vertex",
+) -> Tuple[LabelStore, Highway]:
     """Construct the labelling with concurrent stacked chunks (HL-P).
 
     Args:
@@ -78,6 +79,8 @@ def build_highway_cover_labelling_parallel(
             landmark set evenly across the workers, capped at the
             stacked engine's word width
             (:data:`~repro.core.construction_engine.DEFAULT_CHUNK_SIZE`).
+        store: label-store backend to emit (``"vertex"`` or
+            ``"landmark"``, see :mod:`repro.core.labels`).
 
     Returns:
         ``(labelling, highway)`` — identical to the sequential builders'
@@ -137,4 +140,4 @@ def build_highway_cover_labelling_parallel(
             for result in pool.map(run, chunks):
                 merge(result)
 
-    return accumulator.freeze(), highway
+    return accumulator.freeze_as(store), highway

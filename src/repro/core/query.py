@@ -27,7 +27,7 @@ from repro.core.bounds import upper_bound_distance
 from repro.core.compression import LabelCodec, encoded_size_bytes
 from repro.core.construction import build_highway_cover_labelling
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling
+from repro.core.labels import LabelStore
 from repro.core.parallel import build_highway_cover_labelling_parallel
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
@@ -59,6 +59,11 @@ class HighwayCoverOracle:
         chunk_size: landmarks advanced per stacked pass (bounds
             construction memory; also the per-worker unit for
             ``parallel=True``).
+        store: label-store backend — ``"vertex"`` (frozen CSR,
+            query-optimal; the base oracle's default) or ``"landmark"``
+            (mutable landmark-major runs, update-optimal; the dynamic
+            oracle's default). ``None`` picks the class default. See
+            :mod:`repro.core.labels`.
 
     Example:
         >>> from repro.graphs import barabasi_albert_graph
@@ -68,6 +73,7 @@ class HighwayCoverOracle:
     """
 
     name = "HL"
+    default_store = "vertex"
 
     def __init__(
         self,
@@ -80,6 +86,7 @@ class HighwayCoverOracle:
         landmarks: Optional[Sequence[int]] = None,
         engine: str = "stacked",
         chunk_size: Optional[int] = None,
+        store: Optional[str] = None,
     ) -> None:
         self.num_landmarks = num_landmarks
         self.landmark_strategy = landmark_strategy
@@ -89,9 +96,12 @@ class HighwayCoverOracle:
         self.workers = workers
         self.engine = engine
         self.chunk_size = chunk_size
+        self.store = store if store is not None else self.default_store
+        if self.store not in ("vertex", "landmark"):
+            raise ValueError(f"unknown label store backend {self.store!r}")
         self._explicit_landmarks = list(landmarks) if landmarks is not None else None
         self.graph: Optional[Graph] = None
-        self.labelling: Optional[HighwayCoverLabelling] = None
+        self.labelling: Optional[LabelStore] = None
         self.highway: Optional[Highway] = None
         self._landmark_mask: Optional[np.ndarray] = None
         self._batch_engine = None
@@ -117,6 +127,7 @@ class HighwayCoverOracle:
                     budget_s=self.budget_s,
                     workers=self.workers,
                     chunk_size=self.chunk_size,
+                    store=self.store,
                 )
             else:
                 labelling, highway = build_highway_cover_labelling(
@@ -125,6 +136,7 @@ class HighwayCoverOracle:
                     budget_s=self.budget_s,
                     engine=self.engine,
                     chunk_size=self.chunk_size,
+                    store=self.store,
                 )
         self.construction_seconds = sw.elapsed
         self.graph = graph

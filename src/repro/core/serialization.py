@@ -3,13 +3,13 @@
 The paper's workflow is build-once/query-often: a billion-scale
 construction that takes hours must not be repeated per process. This
 module serializes the complete oracle state — landmark set, highway
-matrix and the CSR-of-labels — into a single compact binary file, using
-the HL(8)-style narrow encodings when they fit.
+matrix and the label store — into a single binary file in one of two
+versions, both little-endian and both readable by :func:`load_oracle`:
 
-Format (little-endian):
+**v1** (legacy, packed):
 
     magic   4s   "RPHL"
-    version u32
+    version u32  = 1
     flags   u32      bit 0: labels use 8-bit landmark ids
     n       u64      vertices
     k       u32      landmarks
@@ -20,16 +20,39 @@ Format (little-endian):
     label_ids   entries * (u8 | u32)
     label_dist  entries * u8
 
+**v2** (default, aligned): the same logical fields, but the 32-byte
+header is padded to 64 bytes and every array section starts on a
+64-byte boundary (zero padding in between), in the same order as v1:
+
+    header      64 bytes (v1 header layout + zero padding)
+    landmarks   k * i64             @ 64
+    highway     k*k * u16           @ align64(...)
+    offsets     (n+1) * i64         @ align64(...)
+    label_ids   entries * (u8|u32)  @ align64(...)
+    label_dist  entries * u8        @ align64(...)
+
+Alignment is what makes the v2 snapshot *mappable*:
+``load_oracle(..., mmap=True)`` wires the three big label arrays
+(offsets / ids / distances) straight onto the file with
+:class:`numpy.memmap` — no copy into process RAM, near-instant startup,
+and one shared page-cache copy across every serving process on the
+machine. Only the small ``O(k)``/``O(k²)`` landmark and highway
+sections are materialized (the highway needs its ``0xFFFF → inf``
+decode). v1 files remain loadable (always copying).
+
 The graph itself is *not* stored (it has its own cache format in
 :mod:`repro.graphs.io`); :func:`load_oracle` takes the graph as input
-and validates that the stored landmark set fits it.
+and validates that the stored landmark set fits it. Every length and
+sentinel in the header is validated before use, so truncated or
+corrupt files fail with a clear :class:`~repro.errors.ReproError`
+instead of a ``struct``/numpy exception.
 """
 
 from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Union
+from typing import BinaryIO, Union
 
 import numpy as np
 
@@ -40,18 +63,63 @@ from repro.errors import NotBuiltError, ReproError
 from repro.graphs.graph import Graph
 
 _MAGIC = b"RPHL"
-_VERSION = 1
+_V1 = 1
+_V2 = 2
+_SUPPORTED_VERSIONS = (_V1, _V2)
+DEFAULT_VERSION = _V2
 _FLAG_NARROW_IDS = 1
+_KNOWN_FLAGS = _FLAG_NARROW_IDS
 _UNREACHABLE_U16 = 0xFFFF
+_HEADER_STRUCT = "<IIQIQ"  # version, flags, n, k, entries (after the magic)
+_V1_HEADER_BYTES = 4 + struct.calcsize(_HEADER_STRUCT)  # 32
+_V2_HEADER_BYTES = 64
+_ALIGNMENT = 64
 
 PathLike = Union[str, Path]
 
 
-def save_oracle(oracle: HighwayCoverOracle, path: PathLike) -> int:
-    """Write a built oracle's index to ``path``; returns bytes written."""
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _section_offsets(version: int, n: int, k: int, entries: int, narrow: bool):
+    """Byte offsets of (landmarks, highway, offsets, ids, dists, end)."""
+    id_width = 1 if narrow else 4
+    sizes = (8 * k, 2 * k * k, 8 * (n + 1), id_width * entries, entries)
+    if version == _V1:
+        cursor = _V1_HEADER_BYTES
+        starts = []
+        for size in sizes:
+            starts.append(cursor)
+            cursor += size
+        return (*starts, cursor)
+    cursor = _V2_HEADER_BYTES
+    starts = []
+    for size in sizes:
+        cursor = _align(cursor)
+        starts.append(cursor)
+        cursor += size
+    return (*starts, cursor)
+
+
+def save_oracle(
+    oracle: HighwayCoverOracle, path: PathLike, version: int = DEFAULT_VERSION
+) -> int:
+    """Write a built oracle's index to ``path``; returns bytes written.
+
+    Args:
+        oracle: a built oracle (any label-store backend; the snapshot is
+            always the canonical vertex-major CSR).
+        path: output file.
+        version: snapshot format — 2 (default, aligned/mappable) or 1
+            (legacy packed layout).
+    """
     if oracle.labelling is None or oracle.highway is None:
         raise NotBuiltError("cannot save an unbuilt oracle")
-    labelling, highway = oracle.labelling, oracle.highway
+    if version not in _SUPPORTED_VERSIONS:
+        raise ReproError(f"unsupported index version {version}")
+    labelling = oracle.labelling.as_vertex_major()
+    highway = oracle.highway
     narrow = highway.num_landmarks <= 256
     flags = _FLAG_NARROW_IDS if narrow else 0
 
@@ -59,61 +127,138 @@ def save_oracle(oracle: HighwayCoverOracle, path: PathLike) -> int:
     matrix[np.isinf(matrix)] = _UNREACHABLE_U16
     if (matrix[~np.isinf(highway.matrix)] > 65534).any():
         raise ReproError("highway distance exceeds u16 range")
+    if labelling.size() and int(labelling.distances.max()) > 255:
+        raise ReproError("label distance exceeds u8 range")
+
+    n = labelling.num_vertices
+    k = highway.num_landmarks
+    entries = labelling.size()
+    sections = _section_offsets(version, n, k, entries, narrow)
 
     path = Path(path)
     with path.open("wb") as handle:
         handle.write(_MAGIC)
-        handle.write(
-            struct.pack(
-                "<IIQIQ",
-                _VERSION,
-                flags,
-                labelling.num_vertices,
-                highway.num_landmarks,
-                labelling.size(),
-            )
-        )
-        handle.write(highway.landmarks.astype("<i8").tobytes())
-        handle.write(matrix.astype("<u2").tobytes())
-        handle.write(labelling.offsets.astype("<i8").tobytes())
+        handle.write(struct.pack(_HEADER_STRUCT, version, flags, n, k, entries))
         id_dtype = "<u1" if narrow else "<u4"
-        handle.write(labelling.landmark_indices.astype(id_dtype).tobytes())
-        handle.write(labelling.distances.astype("<u1").tobytes())
+        payload = (
+            highway.landmarks.astype("<i8").tobytes(),
+            matrix.astype("<u2").tobytes(),
+            labelling.offsets.astype("<i8").tobytes(),
+            labelling.landmark_indices.astype(id_dtype).tobytes(),
+            labelling.distances.astype("<u1").tobytes(),
+        )
+        for start, blob in zip(sections, payload):
+            pad = start - handle.tell()
+            if pad:
+                handle.write(b"\x00" * pad)
+            handle.write(blob)
     return path.stat().st_size
 
 
-def load_oracle(graph: Graph, path: PathLike) -> HighwayCoverOracle:
+def _read_exact(handle: BinaryIO, count: int, path: Path, what: str) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise ReproError(
+            f"{path}: truncated index file — expected {count} bytes for "
+            f"{what}, got {len(data)}"
+        )
+    return data
+
+
+def load_oracle(
+    graph: Graph, path: PathLike, mmap: bool = False
+) -> HighwayCoverOracle:
     """Reconstruct a queryable oracle from ``path`` over ``graph``.
 
+    Args:
+        graph: the graph the index was built for (validated by vertex
+            count).
+        path: a v1 or v2 snapshot written by :func:`save_oracle`.
+        mmap: map the label arrays zero-copy with :class:`numpy.memmap`
+            instead of reading them into RAM. Requires a v2 (aligned)
+            snapshot; loads are near-instant and the pages are shared
+            across processes serving the same file.
+
     Raises:
-        ReproError: on bad magic/version, or if the stored index does not
-            match the graph's vertex count.
+        ReproError: on bad magic/version/flags, on a truncated or
+            size-inconsistent file, if the label offsets do not cover
+            exactly the stored entry count, or if the stored index does
+            not match the graph's vertex count.
     """
     path = Path(path)
     with path.open("rb") as handle:
-        if handle.read(4) != _MAGIC:
+        if _read_exact(handle, 4, path, "magic") != _MAGIC:
             raise ReproError(f"{path}: not a repro HL index file")
-        version, flags, n, k, entries = struct.unpack("<IIQIQ", handle.read(28))
-        if version != _VERSION:
+        header = _read_exact(
+            handle, struct.calcsize(_HEADER_STRUCT), path, "header"
+        )
+        version, flags, n, k, entries = struct.unpack(_HEADER_STRUCT, header)
+        if version not in _SUPPORTED_VERSIONS:
             raise ReproError(f"{path}: unsupported index version {version}")
+        if flags & ~_KNOWN_FLAGS:
+            raise ReproError(f"{path}: unknown flag bits 0x{flags:x}")
+        narrow = bool(flags & _FLAG_NARROW_IDS)
+        if narrow and k > 256:
+            raise ReproError(
+                f"{path}: corrupt header — 8-bit landmark ids with k={k}"
+            )
         if n != graph.num_vertices:
             raise ReproError(
                 f"{path}: index built for n={n}, graph has n={graph.num_vertices}"
             )
-        landmarks = np.frombuffer(handle.read(8 * k), dtype="<i8").astype(np.int64)
+        if mmap and version == _V1:
+            raise ReproError(
+                f"{path}: mmap loading requires an aligned v2 snapshot; "
+                f"re-save with save_oracle(..., version=2)"
+            )
+        sections = _section_offsets(version, n, k, entries, narrow)
+        actual_size = path.stat().st_size
+        if actual_size != sections[-1]:
+            raise ReproError(
+                f"{path}: truncated or oversized index file — expected "
+                f"{sections[-1]} bytes, found {actual_size}"
+            )
+        sec_landmarks, sec_highway, sec_offsets, sec_ids, sec_dists, _ = sections
+
+        def read_section(start: int, count: int, dtype: str, what: str) -> np.ndarray:
+            handle.seek(start)
+            return np.frombuffer(
+                _read_exact(handle, count * np.dtype(dtype).itemsize, path, what),
+                dtype=dtype,
+            )
+
+        landmarks = read_section(sec_landmarks, k, "<i8", "landmarks").astype(
+            np.int64
+        )
         matrix = (
-            np.frombuffer(handle.read(2 * k * k), dtype="<u2")
+            read_section(sec_highway, k * k, "<u2", "highway")
             .astype(float)
             .reshape(k, k)
         )
         matrix[matrix == _UNREACHABLE_U16] = np.inf
-        offsets = np.frombuffer(handle.read(8 * (n + 1)), dtype="<i8").astype(np.int64)
-        narrow = bool(flags & _FLAG_NARROW_IDS)
-        id_bytes = entries * (1 if narrow else 4)
-        ids = np.frombuffer(
-            handle.read(id_bytes), dtype="<u1" if narrow else "<u4"
-        ).astype(np.int32)
-        dists = np.frombuffer(handle.read(entries), dtype="<u1").astype(np.int32)
+        id_dtype = "<u1" if narrow else "<u4"
+        if mmap:
+            offsets = _map_section(path, sec_offsets, n + 1, "<i8")
+            ids = _map_section(path, sec_ids, entries, id_dtype)
+            dists = _map_section(path, sec_dists, entries, "<u1")
+        else:
+            offsets = read_section(sec_offsets, n + 1, "<i8", "offsets").astype(
+                np.int64
+            )
+            ids = read_section(sec_ids, entries, id_dtype, "label ids").astype(
+                np.int32
+            )
+            dists = read_section(
+                sec_dists, entries, "<u1", "label distances"
+            ).astype(np.int32)
+
+    if int(offsets[0]) != 0 or int(offsets[-1]) != entries:
+        raise ReproError(
+            f"{path}: corrupt label offsets — offsets[0]={int(offsets[0])}, "
+            f"offsets[-1]={int(offsets[-1])}, expected 0 and {entries}"
+        )
+    if n and not bool((np.diff(offsets) >= 0).all()):
+        raise ReproError(f"{path}: corrupt label offsets — not non-decreasing")
 
     labelling = HighwayCoverLabelling(
         num_vertices=int(n),
@@ -131,3 +276,10 @@ def load_oracle(graph: Graph, path: PathLike) -> HighwayCoverOracle:
     oracle.highway = highway
     oracle._landmark_mask = highway.landmark_mask(graph.num_vertices)
     return oracle
+
+
+def _map_section(path: Path, start: int, count: int, dtype: str) -> np.ndarray:
+    """A read-only, zero-copy view of one on-disk array section."""
+    if count == 0:
+        return np.empty(0, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r", offset=start, shape=(count,))

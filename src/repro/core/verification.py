@@ -19,7 +19,7 @@ from typing import Dict, Set, Tuple
 import numpy as np
 
 from repro.core.highway import Highway
-from repro.core.labels import HighwayCoverLabelling
+from repro.core.labels import LabelStore
 from repro.graphs.graph import Graph
 from repro.search.bfs import UNREACHED, bfs_distances
 
@@ -67,7 +67,7 @@ def reference_minimal_entries(
     return required
 
 
-def labelling_entry_set(labelling: HighwayCoverLabelling) -> Set[Tuple[int, int]]:
+def labelling_entry_set(labelling: LabelStore) -> Set[Tuple[int, int]]:
     """All (landmark_index, vertex) pairs present in a labelling."""
     entries: Set[Tuple[int, int]] = set()
     for v in range(labelling.num_vertices):
@@ -78,14 +78,14 @@ def labelling_entry_set(labelling: HighwayCoverLabelling) -> Set[Tuple[int, int]
 
 
 def is_hwc_minimal(
-    graph: Graph, labelling: HighwayCoverLabelling, highway: Highway
+    graph: Graph, labelling: LabelStore, highway: Highway
 ) -> bool:
     """Theorem 3.12: minimal iff the entry set matches the Lemma 3.7 oracle."""
     return labelling_entry_set(labelling) == reference_minimal_entries(graph, highway)
 
 
 def is_highway_cover(
-    graph: Graph, labelling: HighwayCoverLabelling, highway: Highway
+    graph: Graph, labelling: LabelStore, highway: Highway
 ) -> bool:
     """Definition 3.2 check (exactness of r-constrained distances).
 

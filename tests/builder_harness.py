@@ -2,7 +2,9 @@
 
 Every construction path in the library — the paper-literal looped
 builder, the stacked bit-parallel engine (HL-C) at several chunk sizes,
-and both HL-P backends — must produce **byte-identical** labellings and
+both HL-P backends, and both label-store backends (frozen vertex-major
+CSR and mutable landmark-major runs, compared through the canonical
+vertex-major form) — must produce **byte-identical** labellings and
 highways on the same (graph, landmark) input; that is the executable
 form of Lemma 3.11 plus the engine's correctness contract. The harness
 provides:
@@ -79,6 +81,12 @@ BUILDER_VARIANTS: Dict[str, Callable[[Graph, Sequence[int]], BuildResult]] = {
     ),
     "parallel-process": lambda g, lms: build_highway_cover_labelling_parallel(
         g, lms, backend="process", workers=2, chunk_size=4
+    ),
+    "stacked-landmark-store": lambda g, lms: build_highway_cover_labelling_stacked(
+        g, lms, store="landmark"
+    ),
+    "parallel-landmark-store": lambda g, lms: build_highway_cover_labelling_parallel(
+        g, lms, backend="thread", workers=2, chunk_size=3, store="landmark"
     ),
 }
 

@@ -73,6 +73,41 @@ class TestBuildAndQuery:
             == 0
         )
 
+    def test_store_and_format_version_flags(self, edgelist, tmp_path, capsys):
+        v1 = tmp_path / "index.v1.hl"
+        v2 = tmp_path / "index.v2.hl"
+        args = ["build", str(edgelist), "-k", "5", "--store", "landmark"]
+        assert main(args + ["-o", str(v2)]) == 0
+        assert main(args + ["-o", str(v1), "--format-version", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "store=landmark" in out
+        assert "(v1)" in out and "(v2)" in out
+        # Both versions answer queries; only v2 supports --mmap.
+        assert main(["query", str(edgelist), str(v1), "0", "100"]) == 0
+        assert main(["query", str(edgelist), str(v2), "0", "100", "--mmap"]) == 0
+        plain = capsys.readouterr().out.splitlines()
+        assert plain[0] == plain[1]
+
+    def test_mmap_query_batch(self, edgelist, tmp_path, capsys):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index), "-k", "5"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query-batch",
+                    str(edgelist),
+                    str(index),
+                    "--random",
+                    "30",
+                    "--mmap",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 30
+
 
 class TestQueryBatch:
     def test_random_pairs(self, edgelist, tmp_path, capsys):

@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.construction import build_highway_cover_labelling
-from repro.core.dynamic import DynamicHighwayCoverOracle, _entries_of_landmark
+from repro.core.dynamic import DynamicHighwayCoverOracle
 from repro.core.query import HighwayCoverOracle
-from repro.graphs.generators import barabasi_albert_graph, path_graph
+from repro.graphs.generators import path_graph
 from repro.graphs.graph import Graph
 from repro.graphs.sampling import sample_vertex_pairs
 from repro.search.bfs import UNREACHED, bfs_distances
@@ -26,7 +26,7 @@ class TestEntryExtraction:
         landmarks = select_landmarks(ba_graph, 6)
         labelling, _ = build_highway_cover_labelling(ba_graph, landmarks)
         for index in range(6):
-            vertices, distances = _entries_of_landmark(labelling, index)
+            vertices, distances = labelling.entries_of_landmark(index)
             truth = bfs_distances(ba_graph, landmarks[index])
             assert np.array_equal(truth[vertices], distances)
 
@@ -91,20 +91,97 @@ class TestInsertEdge:
 
 
 class TestDeleteEdge:
-    def test_delete_rebuilds_and_stays_exact(self):
+    def test_delete_repairs_and_stays_exact(self):
         g = path_graph(8)
         # Add a chord so deletion does not disconnect.
         g = g.with_edges_added([(0, 7)])
         oracle = DynamicHighwayCoverOracle(num_landmarks=3).build(g)
         landmarks_before = [int(r) for r in oracle.highway.landmarks]
-        oracle.delete_edge(0, 7)
+        affected = oracle.delete_edge(0, 7)
+        assert isinstance(affected, list)
         assert [int(r) for r in oracle.highway.landmarks] == landmarks_before
         truth = bfs_distances(oracle.graph, 0)
         for t in range(8):
             assert oracle.query(0, t) == float(truth[t])
+
+    def test_deleted_equals_rebuilt(self, ba_graph):
+        """Incremental deletion repair is byte-identical to a fresh build."""
+        oracle = DynamicHighwayCoverOracle(num_landmarks=8).build(ba_graph)
+        rng = np.random.default_rng(9)
+        removed = 0
+        while removed < 5:
+            u = int(rng.integers(0, oracle.graph.num_vertices))
+            neighbors = oracle.graph.neighbors(u)
+            if len(neighbors) == 0:
+                continue
+            v = int(neighbors[rng.integers(len(neighbors))])
+            affected = oracle.delete_edge(u, v)
+            removed += 1
+            fresh = _fresh_equivalent(oracle)
+            assert oracle.labelling == fresh.labelling, (
+                f"delete ({u}, {v}) affected={affected} diverged"
+            )
+            assert np.array_equal(oracle.highway.matrix, fresh.highway.matrix)
+
+    def test_delete_disconnecting_edge(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        oracle = DynamicHighwayCoverOracle(landmarks=[1]).build(g)
+        affected = oracle.delete_edge(2, 3)
+        assert affected == [1]
+        assert oracle.query(0, 5) == float("inf")
+        assert oracle.highway.distance(1, 1) == 0.0
+        fresh = _fresh_equivalent(oracle)
+        assert oracle.labelling == fresh.labelling
+
+    def test_delete_then_reinsert_restores_labels(self, ws_graph):
+        oracle = DynamicHighwayCoverOracle(num_landmarks=6).build(ws_graph)
+        before = oracle.labelling.as_vertex_major()
+        u = 0
+        v = int(ws_graph.neighbors(0)[0])
+        oracle.delete_edge(u, v)
+        oracle.insert_edge(u, v)
+        assert oracle.labelling == before
+
+    def test_delete_preserves_engine_settings(self, ba_graph):
+        oracle = DynamicHighwayCoverOracle(
+            num_landmarks=5, engine="looped", chunk_size=2
+        ).build(ba_graph)
+        v = int(ba_graph.neighbors(0)[0])
+        oracle.delete_edge(0, v)
+        assert oracle.engine == "looped"
+        assert oracle.chunk_size == 2
+        fresh = _fresh_equivalent(oracle)
+        assert oracle.labelling == fresh.labelling
 
     def test_delete_missing_edge_rejected(self):
         g = path_graph(5)
         oracle = DynamicHighwayCoverOracle(num_landmarks=2).build(g)
         with pytest.raises(ValueError):
             oracle.delete_edge(0, 4)
+
+
+class TestStoreBackend:
+    def test_dynamic_oracle_defaults_to_landmark_major(self, ba_graph):
+        from repro.core.labels import LandmarkMajorLabelStore
+
+        oracle = DynamicHighwayCoverOracle(num_landmarks=4).build(ba_graph)
+        assert isinstance(oracle.labelling, LandmarkMajorLabelStore)
+
+    def test_vertex_store_still_repairs(self, ba_graph):
+        """An explicit vertex store keeps its layout across repairs."""
+        from repro.core.labels import HighwayCoverLabelling
+
+        oracle = DynamicHighwayCoverOracle(num_landmarks=6, store="vertex").build(
+            ba_graph
+        )
+        rng = np.random.default_rng(21)
+        inserted = 0
+        while inserted < 3:
+            u, v = (int(x) for x in rng.integers(0, ba_graph.num_vertices, 2))
+            if u == v or oracle.graph.has_edge(u, v):
+                continue
+            oracle.insert_edge(u, v)
+            inserted += 1
+            assert isinstance(oracle.labelling, HighwayCoverLabelling)
+        fresh = _fresh_equivalent(oracle)
+        assert oracle.labelling == fresh.labelling

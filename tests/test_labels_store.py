@@ -1,0 +1,175 @@
+"""Tests for the pluggable LabelStore layer (vertex- vs landmark-major)."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import build_highway_cover_labelling
+from repro.core.labels import (
+    HighwayCoverLabelling,
+    LabelStore,
+    LandmarkMajorLabelStore,
+)
+from repro.errors import ReproError
+from repro.landmarks.selection import select_landmarks
+
+
+@pytest.fixture(scope="module")
+def built(ba_graph):
+    landmarks = select_landmarks(ba_graph, 10)
+    labelling, highway = build_highway_cover_labelling(ba_graph, landmarks)
+    return ba_graph, landmarks, labelling, highway
+
+
+class TestConversions:
+    def test_round_trip_vertex_landmark_vertex_is_byte_identical(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        store._frozen = None  # force a real transpose, not the seeded cache
+        back = store.as_vertex_major()
+        assert np.array_equal(back.offsets, labelling.offsets)
+        assert np.array_equal(back.landmark_indices, labelling.landmark_indices)
+        assert np.array_equal(back.distances, labelling.distances)
+        assert back.offsets.dtype == labelling.offsets.dtype
+        assert back.landmark_indices.dtype == labelling.landmark_indices.dtype
+        assert back.distances.dtype == labelling.distances.dtype
+
+    def test_as_landmark_major_seeds_frozen_cache(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        assert store.as_vertex_major() is labelling
+
+    def test_identity_conversions(self, built):
+        _, _, labelling, _ = built
+        assert labelling.as_vertex_major() is labelling
+        store = labelling.as_landmark_major()
+        assert store.as_landmark_major() is store
+
+    def test_entries_of_landmark_views_are_read_only(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        vertices, distances = store.entries_of_landmark(0)
+        with pytest.raises(ValueError):
+            vertices[0] = 0
+        with pytest.raises(ValueError):
+            distances[0] = 0
+
+    def test_runs_match_frozen_extraction(self, built):
+        _, landmarks, labelling, _ = built
+        store = labelling.as_landmark_major()
+        for index in range(len(landmarks)):
+            sv, sd = store.entries_of_landmark(index)
+            fv, fd = labelling.entries_of_landmark(index)
+            assert np.array_equal(sv, fv)
+            assert np.array_equal(sd, fd)
+
+
+class TestReads:
+    def test_label_arrays_agree_per_vertex(self, built):
+        graph, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        for v in range(graph.num_vertices):
+            fi, fd = labelling.label_arrays(v)
+            si, sd = store.label_arrays(v)
+            assert np.array_equal(fi, si)
+            assert np.array_equal(fd, sd)
+            assert store.label_size(v) == labelling.label_size(v)
+
+    def test_size_and_als_agree(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        assert store.size() == labelling.size()
+        assert store.average_label_size() == labelling.average_label_size()
+
+    def test_label_object(self, built):
+        graph, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        v = graph.num_vertices - 1
+        assert list(store.label(v).entries()) == list(labelling.label(v).entries())
+
+
+class TestMutation:
+    def test_splice_changes_only_the_target_run(self, built):
+        _, landmarks, labelling, _ = built
+        store = labelling.as_landmark_major()
+        before = [store.entries_of_landmark(i) for i in range(len(landmarks))]
+        new_vertices = np.array([5, 3, 9], dtype=np.int64)
+        new_distances = np.array([1, 2, 3], dtype=np.int32)
+        store.set_landmark_result(0, new_vertices, new_distances)
+        got_v, got_d = store.entries_of_landmark(0)
+        # Canonicalized to vertex-ascending order.
+        assert got_v.tolist() == [3, 5, 9]
+        assert got_d.tolist() == [2, 1, 3]
+        for i in range(1, len(landmarks)):
+            assert np.array_equal(store.entries_of_landmark(i)[0], before[i][0])
+        assert store.size() == labelling.size() - len(before[0][0]) + 3
+
+    def test_mutation_invalidates_frozen_cache(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        assert store.as_vertex_major() is labelling
+        vertices, distances = store.entries_of_landmark(2)
+        store.set_landmark_result(2, vertices, distances)
+        refrozen = store.as_vertex_major()
+        assert refrozen is not labelling
+        assert store == labelling  # same logical content
+
+    def test_length_mismatch_rejected(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        with pytest.raises(ReproError):
+            store.set_landmark_result(
+                0, np.array([1, 2]), np.array([1], dtype=np.int32)
+            )
+
+    def test_out_of_range_landmark_rejected(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        with pytest.raises(ReproError):
+            store.set_landmark_result(
+                store.num_landmarks, np.empty(0), np.empty(0, dtype=np.int32)
+            )
+
+
+class TestEquality:
+    def test_cross_backend_equality(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        assert store == labelling
+        assert labelling == store
+
+    def test_inequality_after_divergence(self, built):
+        _, _, labelling, _ = built
+        store = labelling.as_landmark_major()
+        store.set_landmark_result(
+            0, np.array([1], dtype=np.int64), np.array([7], dtype=np.int32)
+        )
+        assert store != labelling
+
+    def test_non_store_comparison(self, built):
+        _, _, labelling, _ = built
+        assert labelling != object()
+        assert labelling.as_landmark_major() != 42
+
+
+class TestEmptyStore:
+    def test_empty_landmark_major_freezes_to_empty_csr(self):
+        store = LandmarkMajorLabelStore(num_vertices=4, num_landmarks=2)
+        frozen = store.as_vertex_major()
+        assert isinstance(frozen, HighwayCoverLabelling)
+        assert frozen.size() == 0
+        assert frozen.offsets.tolist() == [0, 0, 0, 0, 0]
+        idx, dist = store.label_arrays(3)
+        assert len(idx) == 0 and len(dist) == 0
+
+    def test_run_count_must_match_landmarks(self):
+        with pytest.raises(ReproError):
+            LandmarkMajorLabelStore(
+                4, 2, [np.empty(0, dtype=np.int64)], [np.empty(0, dtype=np.int32)]
+            )
+
+
+class TestProtocol:
+    def test_both_backends_are_label_stores(self, built):
+        _, _, labelling, _ = built
+        assert isinstance(labelling, LabelStore)
+        assert isinstance(labelling.as_landmark_major(), LabelStore)
