@@ -1,0 +1,233 @@
+"""Benchmark: micro-batched serving vs. naive per-query locking.
+
+The serving claim of PR 4 (ISSUE acceptance): hosting an HL oracle
+behind :class:`~repro.serving.DistanceService` — which coalesces
+concurrent point queries into vectorized ``query_many`` micro-batches —
+beats the obvious thread-safe alternative, a single mutex around
+``oracle.query``, by **>= 5x throughput at 16 threads**, while staying
+*byte-identical* to sequential ``oracle.query`` on a randomized
+workload.
+
+Four configurations over the same randomized pair workload:
+
+1. **sequential** — one thread, looped ``oracle.query`` (the ground
+   truth; every other configuration must match it exactly).
+2. **naive-lock** — 16 threads sharing one ``threading.Lock``; each
+   query holds the mutex across ``oracle.query``. This is what a
+   thread-safe wrapper usually looks like, and the GIL-bound floor.
+3. **service-sync** — 16 threads of blocking ``DistanceService.query``;
+   occupancy is capped at the thread count (at most 16 in flight), so
+   the engine's fixed per-batch cost amortizes only ~16 ways.
+4. **service-pipelined** — 16 threads of ``query_async``, each keeping
+   a window of futures in flight — the shape of a real serving
+   frontend, where one thread multiplexes many client connections.
+   Occupancy reaches hundreds of queries per micro-batch, and this is
+   the configuration the ISSUE's >= 5x acceptance bar measures.
+
+The graph fixture mirrors ``bench_batch_queries.py`` (2000-vertex BA,
+k=20) so the two benches compose: that one records what one
+``query_many`` call saves over a scalar loop, this one records how much
+of that saving the serving layer delivers to concurrent clients.
+
+Environment knobs (for CI smoke runs):
+
+* ``REPRO_BENCH_SERVE_N`` — graph size (default 2000).
+* ``REPRO_BENCH_SERVE_PAIRS`` — workload size (default 10000).
+* ``REPRO_BENCH_SERVE_THREADS`` — client threads (default 16).
+
+Run standalone with ``python benchmarks/bench_serving.py`` (``--smoke``
+for the small CI configuration, which asserts exactness and nonzero
+coalescing but relaxes the 5x bar — tiny batches amortize less).
+Results are recorded in ``benchmarks/results/serving.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR, save_and_print
+
+from repro.api import build_oracle
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.serving import DistanceService
+from repro.utils.formatting import format_table
+
+NUM_VERTICES = int(os.environ.get("REPRO_BENCH_SERVE_N", "2000"))
+NUM_PAIRS = int(os.environ.get("REPRO_BENCH_SERVE_PAIRS", "10000"))
+NUM_THREADS = int(os.environ.get("REPRO_BENCH_SERVE_THREADS", "16"))
+NUM_LANDMARKS = 20
+#: Async futures each frontend thread keeps in flight when pipelining.
+PIPELINE_WINDOW = 128
+#: Acceptance bar on the full workload (ISSUE 4): pipelined service vs
+#: naive per-query lock, both at NUM_THREADS client threads.
+FULL_WORKLOAD_SPEEDUP = 5.0
+
+
+def _run_clients(target, count: int) -> float:
+    """Run ``target(lo, hi)`` across NUM_THREADS slices; returns seconds.
+
+    A client exception is re-raised after the join instead of silently
+    killing its thread (which would leave its result slice unwritten
+    and misattribute the failure to an exactness mismatch).
+    """
+    errors: list = []
+
+    def guarded(lo: int, hi: int) -> None:
+        try:
+            target(lo, hi)
+        except BaseException as exc:
+            errors.append(exc)
+
+    bounds = np.linspace(0, count, NUM_THREADS + 1).astype(int)
+    threads = [
+        threading.Thread(target=guarded, args=(int(lo), int(hi)))
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return time.perf_counter() - start
+
+
+def main(smoke: bool = False) -> int:
+    global NUM_VERTICES, NUM_PAIRS
+    if smoke:
+        NUM_VERTICES = min(NUM_VERTICES, 1500)
+        NUM_PAIRS = min(NUM_PAIRS, 2000)
+
+    graph = barabasi_albert_graph(NUM_VERTICES, 3, seed=7, name="serve-bench")
+    oracle = build_oracle(graph, "hl", num_landmarks=NUM_LANDMARKS)
+    pairs = sample_vertex_pairs(graph, NUM_PAIRS, seed=1)
+    print(
+        f"serving benchmark: n={graph.num_vertices:,}, m={graph.num_edges:,}, "
+        f"k={NUM_LANDMARKS}, {NUM_PAIRS:,} pairs, {NUM_THREADS} threads"
+    )
+
+    # 1. Sequential ground truth.
+    t0 = time.perf_counter()
+    expected = np.array(
+        [oracle.query(int(s), int(t)) for s, t in pairs], dtype=float
+    )
+    sequential_s = time.perf_counter() - t0
+
+    # 2. Naive per-query locking at NUM_THREADS.
+    lock = threading.Lock()
+    naive = np.full(NUM_PAIRS, np.nan, dtype=float)
+
+    def drive_naive(lo: int, hi: int) -> None:
+        for i in range(lo, hi):
+            with lock:
+                naive[i] = oracle.query(int(pairs[i, 0]), int(pairs[i, 1]))
+
+    naive_s = _run_clients(drive_naive, NUM_PAIRS)
+
+    # 3. Micro-batched service, blocking point queries at NUM_THREADS.
+    served_sync = np.full(NUM_PAIRS, np.nan, dtype=float)
+    with DistanceService(max_wait_ms=2.0) as service:
+        service.register("bench", oracle)
+
+        def drive_sync(lo: int, hi: int) -> None:
+            for i in range(lo, hi):
+                served_sync[i] = service.query(
+                    "bench", int(pairs[i, 0]), int(pairs[i, 1])
+                )
+
+        sync_s = _run_clients(drive_sync, NUM_PAIRS)
+        sync_stats = service.stats("bench")
+
+    # 4. Micro-batched service, pipelined futures at NUM_THREADS.
+    served_pipe = np.full(NUM_PAIRS, np.nan, dtype=float)
+    with DistanceService(max_wait_ms=2.0) as service:
+        service.register("bench", oracle)
+
+        def drive_pipelined(lo: int, hi: int) -> None:
+            window: list = []
+            for i in range(lo, hi):
+                window.append(
+                    (i, service.query_async(
+                        "bench", int(pairs[i, 0]), int(pairs[i, 1])
+                    ))
+                )
+                if len(window) >= PIPELINE_WINDOW:
+                    j, future = window.pop(0)
+                    served_pipe[j] = future.result()
+            for j, future in window:
+                served_pipe[j] = future.result()
+
+        pipe_s = _run_clients(drive_pipelined, NUM_PAIRS)
+        pipe_stats = service.stats("bench")
+
+    assert np.array_equal(naive, expected), "naive-lock answers diverged"
+    assert np.array_equal(served_sync, expected), (
+        "DistanceService (sync) answers diverged from sequential oracle.query"
+    )
+    assert np.array_equal(served_pipe, expected), (
+        "DistanceService (pipelined) answers diverged from sequential "
+        "oracle.query"
+    )
+    for stats in (sync_stats, pipe_stats):
+        assert stats["batch_occupancy"] > 1.0, (
+            f"no batch coalescing happened (occupancy "
+            f"{stats['batch_occupancy']:.2f})"
+        )
+
+    speedup_sync = naive_s / sync_s
+    speedup = naive_s / pipe_s
+
+    def service_row(label, wall, stats, speed):
+        return [
+            label,
+            NUM_THREADS,
+            f"{wall:.3f}s",
+            f"{NUM_PAIRS / wall:,.0f}",
+            f"{stats['batch_occupancy']:.1f}",
+            f"{stats['p99_ms']:.2f}ms",
+            f"{speed:.1f}x",
+        ]
+
+    rows = [
+        ["sequential", 1, f"{sequential_s:.3f}s", f"{NUM_PAIRS / sequential_s:,.0f}", "-", "-", "-"],
+        ["naive-lock", NUM_THREADS, f"{naive_s:.3f}s", f"{NUM_PAIRS / naive_s:,.0f}", "-", "-", "-"],
+        service_row("service-sync", sync_s, sync_stats, speedup_sync),
+        service_row("service-pipelined", pipe_s, pipe_stats, speedup),
+    ]
+    rendered = format_table(
+        ["config", "threads", "wall", "QPS", "occupancy", "p99", "vs naive"],
+        rows,
+    )
+    stats = pipe_stats
+    title = (
+        f"Serving: micro-batched DistanceService vs naive per-query lock "
+        f"(n={graph.num_vertices:,}, {NUM_PAIRS:,} pairs, "
+        f"{NUM_THREADS} threads{', smoke' if smoke else ''})"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_and_print(RESULTS_DIR, "serving", title, rendered)
+    print(
+        f"exactness: {NUM_PAIRS:,}/{NUM_PAIRS:,} answers byte-identical to "
+        f"sequential oracle.query; coalescing occupancy "
+        f"{stats['batch_occupancy']:.1f} queries/batch"
+    )
+
+    if not smoke and speedup < FULL_WORKLOAD_SPEEDUP:
+        print(
+            f"FAIL: service speedup {speedup:.2f}x below the "
+            f"{FULL_WORKLOAD_SPEEDUP:.0f}x acceptance bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(smoke="--smoke" in sys.argv))

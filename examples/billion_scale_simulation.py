@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import time
 
-from repro import HighwayCoverOracle, barabasi_albert_graph
-from repro.baselines.pll import PrunedLandmarkLabelling
+from repro import barabasi_albert_graph, build_oracle
 from repro.errors import ConstructionBudgetExceeded
 from repro.utils.formatting import format_table
 
@@ -27,11 +26,11 @@ def main() -> None:
     rows = []
     for n in sizes:
         graph = barabasi_albert_graph(n, 6, seed=5, name=f"sweep-{n}")
-        hl = HighwayCoverOracle(num_landmarks=20).build(graph)
+        hl = build_oracle(graph, "hl", num_landmarks=20)
 
         pll_cell = "-"
         try:
-            pll = PrunedLandmarkLabelling(budget_s=20).build(graph)
+            pll = build_oracle(graph, "pll", budget_s=20)
             pll_cell = f"{pll.construction_seconds:.2f}s"
         except ConstructionBudgetExceeded:
             pll_cell = "DNF(20s)"

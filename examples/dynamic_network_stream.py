@@ -17,15 +17,16 @@ import time
 
 import numpy as np
 
-from repro.core.dynamic import DynamicHighwayCoverOracle
-from repro.core.query import HighwayCoverOracle
+from repro import build_oracle
 from repro.datasets.registry import load_dataset
 from repro.graphs.sampling import sample_vertex_pairs
 
 
 def main() -> None:
     graph = load_dataset("LiveJournal", scale=0.4)
-    oracle = DynamicHighwayCoverOracle(num_landmarks=20).build(graph)
+    # dynamic=True selects the incrementally-updatable oracle variant
+    # (Capability.DYNAMIC) through the same factory as everything else.
+    oracle = build_oracle(graph, "hl", dynamic=True, num_landmarks=20)
     print(
         f"initial build: n={graph.num_vertices:,}, m={graph.num_edges:,}, "
         f"CT={oracle.construction_seconds:.2f}s"
@@ -53,9 +54,9 @@ def main() -> None:
     )
 
     # Verify: the maintained index answers exactly like a fresh build.
-    fresh = HighwayCoverOracle(
-        landmarks=[int(r) for r in oracle.highway.landmarks]
-    ).build(oracle.graph)
+    fresh = build_oracle(
+        oracle.graph, "hl", landmarks=[int(r) for r in oracle.highway.landmarks]
+    )
     pairs = sample_vertex_pairs(oracle.graph, 300, seed=7)
     mismatches = sum(
         1

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 
-from repro import HighwayCoverOracle
+from repro import build_oracle
 from repro.datasets.registry import load_dataset
 from repro.graphs.sampling import sample_vertex_pairs
 from repro.landmarks.selection import STRATEGIES
@@ -33,9 +33,9 @@ def main() -> None:
 
     rows = []
     for strategy in sorted(STRATEGIES):
-        oracle = HighwayCoverOracle(
-            num_landmarks=20, landmark_strategy=strategy
-        ).build(graph)
+        oracle = build_oracle(
+            graph, "hl", num_landmarks=20, landmark_strategy=strategy
+        )
         covered = sum(
             1 for s, t in pairs if oracle.is_covered(int(s), int(t))
         )

@@ -11,7 +11,7 @@ exact queries, and inspect the index the paper's Tables 2-3 measure.
 
 from __future__ import annotations
 
-from repro import HighwayCoverOracle, barabasi_albert_graph
+from repro import barabasi_albert_graph, build_oracle
 from repro.graphs.sampling import sample_vertex_pairs
 from repro.search.bfs import bfs_distance
 from repro.utils.formatting import format_bytes
@@ -23,7 +23,9 @@ def main() -> None:
     print(f"graph: n={graph.num_vertices:,} vertices, m={graph.num_edges:,} edges")
 
     # 2. Offline phase: 20 top-degree landmarks, one pruned BFS each.
-    oracle = HighwayCoverOracle(num_landmarks=20).build(graph)
+    #    build_oracle is the registry-backed entry point; "hl" is the
+    #    paper's method (see `python -m repro methods` for the rest).
+    oracle = build_oracle(graph, "hl", num_landmarks=20)
     print(
         f"built HL in {oracle.construction_seconds:.2f}s; "
         f"avg label size = {oracle.average_label_size():.1f} entries; "
@@ -40,7 +42,7 @@ def main() -> None:
         print(f"  d({int(s)}, {int(t)}) = {d:.0f}  [{marker}]  (BFS check: {verified:.0f})")
 
     # 4. The compressed HL(8) variant stores the same labels in 2B/entry.
-    compact = HighwayCoverOracle(num_landmarks=20, codec="u8").build(graph)
+    compact = build_oracle(graph, "hl8", num_landmarks=20)
     print(
         f"HL(8) index = {format_bytes(compact.size_bytes())} "
         f"(vs {format_bytes(oracle.size_bytes())} for 32-bit ids)"

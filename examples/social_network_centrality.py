@@ -16,8 +16,7 @@ from __future__ import annotations
 
 import time
 
-from repro import HighwayCoverOracle
-from repro.baselines.online import BiBFSOracle
+from repro import build_oracle
 from repro.datasets.registry import load_dataset
 from repro.graphs.sampling import sample_vertex_pairs
 
@@ -38,7 +37,7 @@ def main() -> None:
     graph = load_dataset("Flickr", scale=0.5)
     print(f"social surrogate: n={graph.num_vertices:,}, m={graph.num_edges:,}")
 
-    hl = HighwayCoverOracle(num_landmarks=20).build(graph)
+    hl = build_oracle(graph, "hl", num_landmarks=20)
     print(f"HL built in {hl.construction_seconds:.2f}s")
 
     # Candidate influencers: a few hubs and a few random users.
@@ -59,7 +58,7 @@ def main() -> None:
         print(f"  [{tag}] vertex {v:6d}  closeness={score:.4f}  degree={int(degrees[v])}")
 
     # Cost comparison against online search for the same workload.
-    bibfs = BiBFSOracle().build(graph)
+    bibfs = build_oracle(graph, "bibfs")
     t0 = time.perf_counter()
     estimate_closeness(bibfs, hubs[0], targets[:60])
     bibfs_time = (time.perf_counter() - t0) * (len(targets) / 60) * len(scores)

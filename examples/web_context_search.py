@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro import HighwayCoverOracle
+from repro import build_oracle
 from repro.datasets.registry import load_dataset
 from repro.graphs.sampling import sample_vertex_pairs
 
@@ -35,7 +35,7 @@ def main() -> None:
     graph = load_dataset("Indochina", scale=0.5)
     print(f"web crawl surrogate: n={graph.num_vertices:,}, m={graph.num_edges:,}")
 
-    oracle = HighwayCoverOracle(num_landmarks=30).build(graph)
+    oracle = build_oracle(graph, "hl", num_landmarks=30)
     print(f"HL built in {oracle.construction_seconds:.2f}s (k=30 landmarks)")
 
     # A browsing session: three recently visited pages.

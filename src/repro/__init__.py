@@ -6,16 +6,31 @@ Networks* (EDBT 2019).
 
 Quickstart::
 
-    from repro import HighwayCoverOracle, barabasi_albert_graph
+    from repro import build_oracle, barabasi_albert_graph
 
     graph = barabasi_albert_graph(1000, 4, seed=1)
-    oracle = HighwayCoverOracle(num_landmarks=20).build(graph)
+    oracle = build_oracle(graph, "hl", num_landmarks=20)
     print(oracle.query(0, 999))
+
+Every distance method (HL and all baselines) is constructed through
+:func:`repro.api.open_oracle` / :func:`repro.api.build_oracle` and
+speaks the capability-based :class:`repro.api.DistanceOracle` protocol;
+:class:`repro.serving.DistanceService` serves hosted graphs to
+concurrent callers. Direct ``HighwayCoverOracle(...)`` construction
+still works but the factories are the supported entry point.
 
 See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
 system inventory, and ``EXPERIMENTS.md`` for the paper-vs-measured record.
 """
 
+from repro.api import (
+    Capability,
+    DistanceOracle,
+    build_oracle,
+    capabilities_of,
+    make_oracle,
+    open_oracle,
+)
 from repro.core.query import HighwayCoverOracle
 from repro.core.construction import build_highway_cover_labelling
 from repro.core.parallel import build_highway_cover_labelling_parallel
@@ -33,10 +48,18 @@ from repro.graphs.generators import (
     watts_strogatz_graph,
 )
 from repro.landmarks.selection import select_landmarks
+from repro.serving import DistanceService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Capability",
+    "DistanceOracle",
+    "DistanceService",
+    "open_oracle",
+    "build_oracle",
+    "make_oracle",
+    "capabilities_of",
     "HighwayCoverOracle",
     "DynamicHighwayCoverOracle",
     "build_highway_cover_labelling",

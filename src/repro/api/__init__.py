@@ -1,0 +1,56 @@
+"""``repro.api`` — the unified, capability-based public surface.
+
+Protocol (:mod:`repro.api.protocol`): :class:`DistanceOracle` plus the
+optional :class:`BatchQueries` / :class:`DynamicUpdates` /
+:class:`Snapshotable` / :class:`PathReconstruction` capability layers,
+negotiated through ``oracle.capabilities()``.
+
+Factories (:mod:`repro.api.factory`): :func:`open_oracle` /
+:func:`build_oracle` / :func:`make_oracle` construct any registered
+method by name; :func:`register_method` adds new backends.
+
+See the README section "Public API & serving" for the capability matrix
+and examples.
+"""
+
+from repro.api.factory import (
+    MethodSpec,
+    available_methods,
+    as_graph,
+    build_oracle,
+    make_oracle,
+    open_oracle,
+    register_method,
+    resolve_method,
+)
+from repro.api.protocol import (
+    ALL_CAPABILITIES,
+    BatchFallback,
+    BatchQueries,
+    Capability,
+    DistanceOracle,
+    DynamicUpdates,
+    PathReconstruction,
+    Snapshotable,
+    capabilities_of,
+)
+
+__all__ = [
+    "ALL_CAPABILITIES",
+    "BatchFallback",
+    "BatchQueries",
+    "Capability",
+    "DistanceOracle",
+    "DynamicUpdates",
+    "MethodSpec",
+    "PathReconstruction",
+    "Snapshotable",
+    "available_methods",
+    "as_graph",
+    "build_oracle",
+    "capabilities_of",
+    "make_oracle",
+    "open_oracle",
+    "register_method",
+    "resolve_method",
+]

@@ -1,8 +1,9 @@
 """Baseline distance-query methods evaluated by the paper.
 
 Every method — including HL itself — satisfies the
-:class:`~repro.baselines.interface.DistanceOracle` protocol, so the
-experiment harness can sweep them uniformly:
+:class:`~repro.api.DistanceOracle` protocol (each advertises its
+optional layers through ``capabilities()``), so the experiment harness
+can sweep them uniformly:
 
 * :class:`~repro.baselines.online.BFSOracle`,
   :class:`~repro.baselines.online.BiBFSOracle`,
@@ -15,7 +16,7 @@ experiment harness can sweep them uniformly:
   2013), independent-set hierarchy + core search.
 """
 
-from repro.baselines.interface import DistanceOracle
+from repro.api.protocol import DistanceOracle
 from repro.baselines.online import BFSOracle, BiBFSOracle, DijkstraOracle
 from repro.baselines.pll import PrunedLandmarkLabelling
 from repro.baselines.fd import FullyDynamicOracle

@@ -24,6 +24,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.protocol import BatchFallback, Capability
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
 from repro.landmarks.selection import select_landmarks
@@ -33,10 +34,14 @@ from repro.utils.timing import Stopwatch, TimeBudget
 _ENTRY_BYTES = 5
 
 
-class ALTOracle:
+class ALTOracle(BatchFallback):
     """A* with landmark-difference lower bounds (exact on unit weights)."""
 
     name = "ALT"
+    CAPABILITIES = frozenset({Capability.BATCH})
+
+    def capabilities(self) -> frozenset:
+        return self.CAPABILITIES
 
     def __init__(
         self,

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.api.protocol import BatchFallback, Capability
 from repro.baselines.bitparallel import BitParallelLabels, build_bit_parallel_labels
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
@@ -43,8 +44,14 @@ from repro.utils.timing import Stopwatch, TimeBudget
 _SPT_ENTRY_BYTES = 5  # 32-bit vertex id + 8-bit distance per landmark entry
 
 
-class FullyDynamicOracle:
+class FullyDynamicOracle(BatchFallback):
     """FD distance oracle: landmark SPTs + BP masks + bounded search.
+
+    Note on capabilities: FD implements :meth:`insert_edge` (the FD
+    paper's decrease-only repair) but **not** edge deletion, so it does
+    not advertise ``Capability.DYNAMIC`` — that capability contracts
+    both directions. Callers that only insert may still duck-type the
+    method.
 
     Args:
         num_landmarks: size of ``R`` (the paper's comparison uses 20).
@@ -54,6 +61,10 @@ class FullyDynamicOracle:
     """
 
     name = "FD"
+    CAPABILITIES = frozenset({Capability.BATCH})
+
+    def capabilities(self) -> frozenset:
+        return self.CAPABILITIES
 
     def __init__(
         self,

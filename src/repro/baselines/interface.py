@@ -1,37 +1,40 @@
-"""The common oracle protocol shared by HL and every baseline."""
+"""Deprecated shim — the oracle protocol moved to :mod:`repro.api`.
+
+The minimal ``DistanceOracle`` protocol that used to live here was
+promoted into the capability-based API package
+(:mod:`repro.api.protocol`), which adds ``capabilities()``
+introspection and the optional batch/dynamic/snapshot/path layers.
+This module keeps the old import path working for one release:
+
+    from repro.baselines.interface import DistanceOracle   # deprecated
+
+emits a :class:`DeprecationWarning` and hands back
+:class:`repro.api.DistanceOracle`. New code should import from
+:mod:`repro.api`.
+"""
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+import warnings
 
-from repro.graphs.graph import Graph
+_MOVED = {
+    "DistanceOracle": "repro.api",
+}
 
 
-@runtime_checkable
-class DistanceOracle(Protocol):
-    """What the experiment harness requires of a distance-query method.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.baselines.interface.{name} is deprecated; import it "
+            f"from {_MOVED[name]} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api.protocol import DistanceOracle
 
-    ``build`` may raise
-    :class:`~repro.errors.ConstructionBudgetExceeded`, which the harness
-    reports as DNF; ``query`` must return exact distances (``inf`` when
-    disconnected). ``size_bytes``/``average_label_size`` feed Tables 2-3;
-    online methods report zero-size indexes.
-    """
+        return DistanceOracle
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    name: str
 
-    def build(self, graph: Graph) -> "DistanceOracle":
-        """Precompute the index (may be a no-op for online methods)."""
-        ...
-
-    def query(self, s: int, t: int) -> float:
-        """Exact shortest-path distance between ``s`` and ``t``."""
-        ...
-
-    def size_bytes(self) -> int:
-        """Index size in bytes under the paper's accounting."""
-        ...
-
-    def average_label_size(self) -> float:
-        """Average label entries per vertex (ALS column of Table 2)."""
-        ...
+def __dir__():
+    return sorted(_MOVED)

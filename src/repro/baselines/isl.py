@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api.protocol import BatchFallback, Capability
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
 from repro.utils.timing import Stopwatch, TimeBudget
@@ -42,7 +43,7 @@ from repro.utils.timing import Stopwatch, TimeBudget
 _LABEL_ENTRY_BYTES = 8  # 32-bit vertex + 32-bit weight (weighted entries)
 
 
-class ISLabelOracle:
+class ISLabelOracle(BatchFallback):
     """IS-Label distance oracle (hierarchy + core search hybrid).
 
     Args:
@@ -53,6 +54,10 @@ class ISLabelOracle:
     """
 
     name = "IS-L"
+    CAPABILITIES = frozenset({Capability.BATCH})
+
+    def capabilities(self) -> frozenset:
+        return self.CAPABILITIES
 
     def __init__(
         self,

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.protocol import BatchFallback, Capability
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
 from repro.search.bfs import bfs_distance
@@ -16,10 +17,18 @@ from repro.search.bidirectional import bidirectional_bfs_distance
 from repro.search.dijkstra import dijkstra_distance
 
 
-class _OnlineOracle:
-    """Shared plumbing for the index-free methods."""
+class _OnlineOracle(BatchFallback):
+    """Shared plumbing for the index-free methods.
+
+    Index-free means the size accounting is **contractually zero**
+    (the protocol's total-function rule): ``size_bytes`` and
+    ``average_label_size`` return 0 whether or not ``build`` has run —
+    these are Table 2's actual cells for the online columns, never an
+    error.
+    """
 
     name = "online"
+    CAPABILITIES = frozenset({Capability.BATCH})
 
     def __init__(self) -> None:
         self.graph: Optional[Graph] = None
@@ -28,6 +37,9 @@ class _OnlineOracle:
     def build(self, graph: Graph) -> "_OnlineOracle":
         self.graph = graph
         return self
+
+    def capabilities(self) -> frozenset:
+        return self.CAPABILITIES
 
     def _require_graph(self) -> Graph:
         if self.graph is None:

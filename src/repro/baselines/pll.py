@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.protocol import BatchFallback, Capability
 from repro.baselines.bitparallel import BitParallelLabels, build_bit_parallel_labels
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
@@ -35,7 +36,7 @@ from repro.utils.timing import Stopwatch, TimeBudget
 _ENTRY_BYTES = 5  # 32-bit vertex id + 8-bit distance, as in the paper §5.2
 
 
-class PrunedLandmarkLabelling:
+class PrunedLandmarkLabelling(BatchFallback):
     """PLL distance oracle (full 2-hop cover over all vertices).
 
     Args:
@@ -46,6 +47,10 @@ class PrunedLandmarkLabelling:
     """
 
     name = "PLL"
+    CAPABILITIES = frozenset({Capability.BATCH})
+
+    def capabilities(self) -> frozenset:
+        return self.CAPABILITIES
 
     def __init__(
         self,

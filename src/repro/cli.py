@@ -16,10 +16,18 @@ Commands:
   engine.
 * ``bench-dataset <name>`` — build HL on one surrogate and report
   CT/ALS/size/coverage.
+* ``serve-bench [--threads 16] [--queries 2000]`` — drive a
+  :class:`~repro.serving.DistanceService` with a synthetic concurrent
+  workload, assert exactness against looped ``oracle.query``, and
+  report QPS / batch occupancy / latency percentiles.
+* ``methods`` — list every registered oracle method with its
+  capability set (the README matrix, live).
 * ``datasets`` — list the twelve surrogate networks.
 
-The CLI wraps the same public API the examples use; it exists so the
-index can be produced and consumed from shell pipelines.
+The CLI wraps the same public API the examples use — every oracle is
+constructed through :func:`repro.api.open_oracle` /
+:func:`repro.api.build_oracle` — so the index can be produced and
+consumed from shell pipelines.
 """
 
 from __future__ import annotations
@@ -28,8 +36,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.query import HighwayCoverOracle
-from repro.core.serialization import load_oracle, save_oracle
+from repro.api import available_methods, build_oracle, open_oracle
+from repro.api.protocol import ALL_CAPABILITIES
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.graphs.io import read_edge_list
 from repro.graphs.sampling import sample_vertex_pairs
@@ -67,16 +75,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    graph = read_edge_list(args.graph)
-    oracle = HighwayCoverOracle(
+    oracle = build_oracle(
+        args.graph,
+        "hl",
         num_landmarks=args.landmarks,
         landmark_strategy=args.strategy,
         parallel=args.parallel,
         engine=args.engine,
         chunk_size=args.chunk_size,
         store=args.store,
-    ).build(graph)
-    written = save_oracle(oracle, args.output, version=args.format_version)
+    )
+    written = oracle.save(args.output, version=args.format_version)
     builder = "HL-P" if args.parallel else f"HL/{args.engine}"
     print(
         f"built {builder}(k={args.landmarks}, {args.strategy}, "
@@ -92,8 +101,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if len(args.vertices) % 2:
         print("error: provide an even number of vertex ids (s t pairs)", file=sys.stderr)
         return 2
-    graph = read_edge_list(args.graph)
-    oracle = load_oracle(graph, args.index, mmap=args.mmap)
+    oracle = open_oracle(args.graph, index=args.index, mmap=args.mmap)
     for i in range(0, len(args.vertices), 2):
         s, t = args.vertices[i], args.vertices[i + 1]
         d = oracle.query(s, t)
@@ -105,8 +113,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_query_batch(args: argparse.Namespace) -> int:
     import numpy as np
 
-    graph = read_edge_list(args.graph)
-    oracle = load_oracle(graph, args.index, mmap=args.mmap)
+    oracle = open_oracle(args.graph, index=args.index, mmap=args.mmap)
+    graph = oracle.graph
     if args.pairs_file is not None:
         import warnings
 
@@ -141,7 +149,7 @@ def _cmd_bench_dataset(args: argparse.Namespace) -> int:
     from repro.core.batch import coverage_ratio
 
     graph = load_dataset(args.name, scale=args.scale)
-    oracle = HighwayCoverOracle(num_landmarks=args.landmarks).build(graph)
+    oracle = build_oracle(graph, "hl", num_landmarks=args.landmarks)
     pairs = sample_vertex_pairs(graph, args.pairs, seed=1)
     coverage = coverage_ratio(oracle, pairs)
     print(
@@ -158,6 +166,110 @@ def _cmd_bench_dataset(args: argparse.Namespace) -> int:
                     f"{coverage:.2f}",
                 ]
             ],
+        )
+    )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import threading
+
+    import numpy as np
+
+    from repro.graphs.generators import barabasi_albert_graph
+    from repro.serving import DistanceService
+
+    if args.graph is not None:
+        graph = read_edge_list(args.graph)
+    else:
+        graph = barabasi_albert_graph(args.n, 4, seed=7, name="serve-bench")
+    oracle = build_oracle(graph, "hl", num_landmarks=args.landmarks)
+    pairs = sample_vertex_pairs(graph, args.queries, seed=args.seed)
+
+    # Ground truth the slow, unambiguous way: one looped oracle.query.
+    expected = np.array(
+        [oracle.query(int(s), int(t)) for s, t in pairs], dtype=float
+    )
+
+    results = np.full(len(pairs), np.nan, dtype=float)
+    errors: List[BaseException] = []
+    with DistanceService(
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+    ) as service:
+        service.register("bench", oracle)
+
+        def drive(lo: int, hi: int) -> None:
+            try:
+                for i in range(lo, hi):
+                    results[i] = service.query(
+                        "bench", int(pairs[i, 0]), int(pairs[i, 1])
+                    )
+            except BaseException as exc:  # surfaced after the join
+                errors.append(exc)
+
+        bounds = np.linspace(0, len(pairs), args.threads + 1).astype(int)
+        threads = [
+            threading.Thread(target=drive, args=(int(lo), int(hi)))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = service.stats("bench")
+
+    if errors:
+        print(f"error: a client thread failed: {errors[0]!r}", file=sys.stderr)
+        return 1
+
+    mismatches = int((results != expected).sum())
+    print(
+        format_table(
+            ["threads", "queries", "QPS", "batches", "occupancy", "p50", "p99"],
+            [
+                [
+                    args.threads,
+                    stats["queries"],
+                    f"{stats['qps']:,.0f}",
+                    stats["batches"],
+                    f"{stats['batch_occupancy']:.1f}",
+                    f"{stats['p50_ms']:.2f}ms",
+                    f"{stats['p99_ms']:.2f}ms",
+                ]
+            ],
+        )
+    )
+    if mismatches:
+        print(
+            f"error: {mismatches}/{len(pairs)} coalesced answers differ "
+            f"from looped oracle.query",
+            file=sys.stderr,
+        )
+        return 1
+    if stats["batch_occupancy"] <= 1.0 and args.threads > 1:
+        print(
+            "error: no batch coalescing happened (occupancy <= 1)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"exact: {len(pairs)}/{len(pairs)} match looped oracle.query")
+    return 0
+
+
+def _cmd_methods(_: argparse.Namespace) -> int:
+    rows = []
+    for spec in available_methods():
+        marks = [
+            "x" if cap in spec.capabilities else "-"
+            for cap in ALL_CAPABILITIES
+        ]
+        rows.append(
+            [spec.name, *marks, "x" if spec.supports_dynamic else "-", spec.description]
+        )
+    print(
+        format_table(
+            ["method", "batch", "dynamic", "snapshot", "paths", "dyn-opt", "description"],
+            rows,
         )
     )
     return 0
@@ -257,6 +369,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("-k", "--landmarks", type=int, default=20)
     p_bench.add_argument("--pairs", type=int, default=200)
     p_bench.set_defaults(func=_cmd_bench_dataset)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="drive DistanceService with a concurrent workload and "
+        "verify exactness",
+    )
+    p_serve.add_argument(
+        "--graph", default=None, help="edge-list file (default: synthetic BA)"
+    )
+    p_serve.add_argument(
+        "--n", type=int, default=5000, help="synthetic graph size"
+    )
+    p_serve.add_argument("-k", "--landmarks", type=int, default=20)
+    p_serve.add_argument("--threads", type=int, default=16)
+    p_serve.add_argument(
+        "--queries", type=int, default=2000, help="total queries across threads"
+    )
+    p_serve.add_argument("--max-batch", type=int, default=512)
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_methods = sub.add_parser(
+        "methods", help="list registered oracle methods and capabilities"
+    )
+    p_methods.set_defaults(func=_cmd_methods)
 
     p_list = sub.add_parser("datasets", help="list the surrogate networks")
     p_list.set_defaults(func=_cmd_datasets)

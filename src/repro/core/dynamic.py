@@ -42,6 +42,7 @@ from typing import List
 
 import numpy as np
 
+from repro.api.protocol import Capability
 from repro.core.construction_engine import DEFAULT_CHUNK_SIZE, stacked_pruned_bfs
 from repro.core.query import HighwayCoverOracle
 from repro.graphs.graph import Graph
@@ -66,6 +67,7 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
 
     name = "HL-dyn"
     default_store = "landmark"
+    CAPABILITIES = HighwayCoverOracle.CAPABILITIES | {Capability.DYNAMIC}
 
     def insert_edge(self, u: int, v: int) -> List[int]:
         """Insert an undirected edge and repair labels incrementally.

@@ -19,10 +19,11 @@ Vertex-class handling (all proven exact):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.protocol import Capability
 from repro.core.bounds import upper_bound_distance
 from repro.core.compression import LabelCodec, encoded_size_bytes
 from repro.core.construction import build_highway_cover_labelling
@@ -74,6 +75,15 @@ class HighwayCoverOracle:
 
     name = "HL"
     default_store = "vertex"
+    #: Advertised capability layers (see :mod:`repro.api.protocol`):
+    #: vectorized batching, on-disk snapshots, witness-path recovery.
+    CAPABILITIES = frozenset(
+        {Capability.BATCH, Capability.SNAPSHOT, Capability.PATHS}
+    )
+
+    def capabilities(self) -> frozenset:
+        """The :class:`~repro.api.Capability` layers this oracle honours."""
+        return self.CAPABILITIES
 
     def __init__(
         self,
@@ -235,6 +245,29 @@ class HighwayCoverOracle:
         r_index = highway.index_of[int(landmark)]
         row = highway.matrix[r_index]
         return float((row[idx] + dist).min())
+
+    # -- Capability layers: snapshots and witness paths --------------------------
+
+    def save(self, path, version: int = 2) -> int:
+        """Persist the built index to ``path`` (``Capability.SNAPSHOT``).
+
+        Restore with ``repro.api.open_oracle(graph, index=path)`` — with
+        ``mmap=True`` for zero-copy loading of a v2 snapshot. Returns
+        bytes written.
+        """
+        from repro.core.serialization import save_oracle
+
+        return save_oracle(self, path, version=version)
+
+    def shortest_path(self, s: int, t: int) -> Optional[List[int]]:
+        """A witness shortest path for ``query(s, t)`` (``Capability.PATHS``).
+
+        Returns the vertex list from ``s`` to ``t`` (``len - 1`` equals
+        the exact distance), or ``None`` when disconnected.
+        """
+        from repro.core.paths import shortest_path
+
+        return shortest_path(self, s, t)
 
     # -- Reporting ---------------------------------------------------------------
 

@@ -42,7 +42,10 @@ decode). v1 files remain loadable (always copying).
 
 The graph itself is *not* stored (it has its own cache format in
 :mod:`repro.graphs.io`); :func:`load_oracle` takes the graph as input
-and validates that the stored landmark set fits it. Every length and
+and validates that the stored landmark set fits it. The public entry
+points sit a layer up: ``oracle.save(path)`` writes, and
+:func:`repro.api.open_oracle` (``index=``, ``mmap=``, ``dynamic=``)
+restores — including promotion to the dynamic oracle variant. Every length and
 sentinel in the header is validated before use, so truncated or
 corrupt files fail with a clear :class:`~repro.errors.ReproError`
 instead of a ``struct``/numpy exception.

@@ -33,6 +33,21 @@ class NotBuiltError(ReproError):
     """An oracle was queried before :meth:`build` was called."""
 
 
+class CapabilityError(ReproError):
+    """An operation needs a capability the oracle does not advertise.
+
+    Raised by capability-negotiating callers (e.g.
+    :class:`~repro.serving.DistanceService`) instead of an
+    ``AttributeError`` from duck-typing, so the failure names the missing
+    :class:`~repro.api.Capability` explicitly.
+    """
+
+
+class ServiceClosedError(ReproError):
+    """A query or update reached a :class:`~repro.serving.DistanceService`
+    after (or while) it was closed."""
+
+
 class ConstructionBudgetExceeded(ReproError):
     """A labelling construction exceeded its time budget.
 

@@ -11,15 +11,11 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.baselines.fd import FullyDynamicOracle
-from repro.baselines.isl import ISLabelOracle
-from repro.baselines.online import BFSOracle, BiBFSOracle, DijkstraOracle
-from repro.baselines.pll import PrunedLandmarkLabelling
-from repro.core.query import HighwayCoverOracle
+from repro.api import Capability, capabilities_of, make_oracle
 from repro.errors import ConstructionBudgetExceeded
 from repro.graphs.graph import Graph
 
@@ -80,31 +76,32 @@ class MethodMeasurement:
 
 
 def make_method(name: str, config: ExperimentConfig) -> object:
-    """Instantiate a method by its paper name with the config's budgets."""
+    """Instantiate a method by its paper name with the config's budgets.
+
+    Thin wrapper over the :mod:`repro.api` method registry
+    (:func:`repro.api.make_oracle`): this function only maps the
+    config's knobs onto each method's constructor options, so newly
+    registered backends are available to every experiment for free.
+    """
     budget = config.construction_budget_s
-    factories: Dict[str, Callable[[], object]] = {
-        "HL": lambda: HighwayCoverOracle(
-            num_landmarks=config.num_landmarks, budget_s=budget
-        ),
-        "HL-P": lambda: HighwayCoverOracle(
-            num_landmarks=config.num_landmarks, parallel=True, budget_s=budget
-        ),
-        "HL(8)": lambda: HighwayCoverOracle(
-            num_landmarks=config.num_landmarks, codec="u8", budget_s=budget
-        ),
-        "FD": lambda: FullyDynamicOracle(
-            num_landmarks=config.num_landmarks, budget_s=budget
-        ),
-        "PLL": lambda: PrunedLandmarkLabelling(budget_s=budget),
-        "IS-L": lambda: ISLabelOracle(budget_s=budget),
-        "Bi-BFS": BiBFSOracle,
-        "BFS": BFSOracle,
-        "Dijkstra": DijkstraOracle,
+    landmark_methods = dict(num_landmarks=config.num_landmarks, budget_s=budget)
+    options: Dict[str, dict] = {
+        "HL": landmark_methods,
+        "HL-P": landmark_methods,
+        "HL(8)": landmark_methods,
+        "FD": landmark_methods,
+        "ALT": landmark_methods,
+        "PLL": dict(budget_s=budget),
+        "IS-L": dict(budget_s=budget),
+        "Bi-BFS": {},
+        "BFS": {},
+        "Dijkstra": {},
     }
     try:
-        return factories[name]()
+        opts = options[name]
     except KeyError as exc:
-        raise KeyError(f"unknown method {name!r}; options: {sorted(factories)}") from exc
+        raise KeyError(f"unknown method {name!r}; options: {sorted(options)}") from exc
+    return make_oracle(name, **opts)
 
 
 def measure_method(
@@ -136,11 +133,12 @@ def measure_method(
 
     avg_query_ms = None
     if measure_queries and len(pairs):
-        # Methods exposing a batch engine are timed through it (the
-        # paper's query workload is bulk: 100k random pairs per dataset);
-        # the rest answer pair by pair.
+        # The paper's query workload is bulk (100k random pairs per
+        # dataset), so batch-capable methods are timed through
+        # query_many: vectorized for HL, the correctness-equivalent
+        # looped fallback for the baselines.
         t0 = time.perf_counter()
-        if hasattr(method, "query_many"):
+        if Capability.BATCH in capabilities_of(method):
             method.query_many(pairs)
         else:
             query = method.query

@@ -1,0 +1,12 @@
+"""``repro.serving`` — the multi-graph, thread-safe serving facade.
+
+:class:`DistanceService` hosts named graphs behind the capability-based
+oracle API, coalescing concurrent point queries into vectorized
+micro-batches and serializing dynamic updates against readers. See
+:mod:`repro.serving.service` for the design notes and
+``benchmarks/bench_serving.py`` for the recorded throughput evidence.
+"""
+
+from repro.serving.service import DistanceService
+
+__all__ = ["DistanceService"]

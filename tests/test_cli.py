@@ -198,3 +198,46 @@ class TestDatasetCommands:
         out = capsys.readouterr().out
         assert "coverage" in out
         assert "Skitter" in out
+
+
+class TestServeBench:
+    def test_serve_bench_verifies_exactness(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--n", "400",
+                    "--queries", "200",
+                    "--threads", "4",
+                    "-k", "6",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "QPS" in out
+        assert "200/200 match looped oracle.query" in out
+
+    def test_serve_bench_on_edge_list(self, edgelist, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--graph", str(edgelist),
+                    "--queries", "100",
+                    "--threads", "2",
+                    "-k", "4",
+                ]
+            )
+            == 0
+        )
+        assert "match looped oracle.query" in capsys.readouterr().out
+
+
+class TestMethods:
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hl", "hl-dyn", "pll", "bibfs", "dijkstra"):
+            assert name in out
+        assert "snapshot" in out  # capability columns

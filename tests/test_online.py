@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.interface import DistanceOracle
+from repro.api import DistanceOracle
 from repro.baselines.online import BFSOracle, BiBFSOracle, DijkstraOracle
 from repro.errors import NotBuiltError
 from repro.graphs.sampling import sample_vertex_pairs

@@ -1,0 +1,304 @@
+"""Tests for the :class:`~repro.serving.DistanceService` facade.
+
+The acceptance bar the suite enforces: micro-batched concurrent
+queries are **identical** to sequential ``oracle.query`` (same floats,
+including ``inf``), coalescing actually happens under concurrency,
+dynamic updates never interleave with query execution, and the stats
+surface reports what happened.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import build_oracle
+from repro.errors import CapabilityError, ReproError, ServiceClosedError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.graph import Graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.serving import DistanceService
+
+
+@pytest.fixture(scope="module")
+def served_graph() -> Graph:
+    return barabasi_albert_graph(600, 4, seed=19)
+
+
+@pytest.fixture(scope="module")
+def served_oracle(served_graph):
+    return build_oracle(served_graph, "hl", num_landmarks=10)
+
+
+def _drive(service, name, pairs, out, lo, hi):
+    for i in range(lo, hi):
+        out[i] = service.query(name, int(pairs[i, 0]), int(pairs[i, 1]))
+
+
+def _run_threads(service, name, pairs, threads=8):
+    out = np.empty(len(pairs), dtype=float)
+    bounds = np.linspace(0, len(pairs), threads + 1).astype(int)
+    workers = [
+        threading.Thread(
+            target=_drive, args=(service, name, pairs, out, int(lo), int(hi))
+        )
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    return out
+
+
+class TestConcurrentExactness:
+    def test_coalesced_answers_equal_sequential_query(
+        self, served_graph, served_oracle
+    ):
+        pairs = sample_vertex_pairs(served_graph, 1500, seed=3)
+        expected = np.array(
+            [served_oracle.query(int(s), int(t)) for s, t in pairs]
+        )
+        with DistanceService(max_wait_ms=1.0) as service:
+            service.register("g", served_oracle)
+            results = _run_threads(service, "g", pairs, threads=16)
+            stats = service.stats("g")
+        assert np.array_equal(results, expected)
+        assert stats["queries"] == len(pairs)
+        # Coalescing must actually happen under 16 concurrent threads.
+        assert stats["batch_occupancy"] > 1.0
+        assert stats["batches"] < len(pairs)
+
+    def test_disconnected_pairs_serve_inf(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)], name="split")
+        oracle = build_oracle(graph, "hl", num_landmarks=2)
+        with DistanceService(max_wait_ms=0.0) as service:
+            service.register("g", oracle)
+            assert service.query("g", 0, 3) == float("inf")
+            assert service.query("g", 0, 2) == 2.0
+            assert service.query("g", 5, 5) == 0.0
+
+    def test_query_async_pipelined_exact(self, served_graph, served_oracle):
+        """A single thread pipelining futures gets exact answers and
+        coalesces them into large micro-batches."""
+        pairs = sample_vertex_pairs(served_graph, 400, seed=41)
+        expected = served_oracle.query_many(pairs)
+        with DistanceService(max_wait_ms=1.0) as service:
+            service.register("g", served_oracle)
+            futures = [
+                service.query_async("g", int(s), int(t)) for s, t in pairs
+            ]
+            results = np.array([f.result() for f in futures])
+            stats = service.stats("g")
+        assert np.array_equal(results, expected)
+        assert stats["batch_occupancy"] > 1.0
+        assert stats["max_batch"] > 16
+
+    def test_query_many_direct_path(self, served_graph, served_oracle):
+        pairs = sample_vertex_pairs(served_graph, 200, seed=5)
+        with DistanceService() as service:
+            service.register("g", served_oracle)
+            bulk = service.query_many("g", pairs)
+        assert np.array_equal(bulk, served_oracle.query_many(pairs))
+
+    def test_zero_wait_still_exact(self, served_graph, served_oracle):
+        pairs = sample_vertex_pairs(served_graph, 300, seed=7)
+        expected = served_oracle.query_many(pairs)
+        with DistanceService(max_wait_ms=0.0) as service:
+            service.register("g", served_oracle)
+            results = _run_threads(service, "g", pairs, threads=4)
+        assert np.array_equal(results, expected)
+
+    def test_invalid_vertex_raises_in_caller_thread(
+        self, served_graph, served_oracle
+    ):
+        from repro.errors import VertexError
+
+        with DistanceService(max_wait_ms=0.0) as service:
+            service.register("g", served_oracle)
+            with pytest.raises(VertexError):
+                service.query("g", 0, served_graph.num_vertices + 5)
+            with pytest.raises(VertexError):
+                service.query_async("g", -1, 0)
+            # The worker survives and keeps serving.
+            assert service.query("g", 0, 0) == 0.0
+
+    def test_failing_query_does_not_poison_batch_mates(
+        self, served_graph, served_oracle
+    ):
+        """If the vectorized batch path blows up, batch-mates still get
+        their own (correct) answers; only the offender errors."""
+        with DistanceService(max_wait_ms=5.0) as service:
+            service.register("g", served_oracle)
+            # Sneak a malformed pending past enqueue validation to
+            # force the batch itself to fail.
+            good = service.query_async("g", 0, 5)
+            entry = service._entry("g")
+            bad = service.query_async("g", 0, 1)
+            with entry.lock:
+                for pending in entry.queue:
+                    if pending.s == 0 and pending.t == 1:
+                        pending.t = served_graph.num_vertices + 7
+            assert good.result() == served_oracle.query(0, 5)
+            with pytest.raises(ReproError):
+                bad.result()
+            assert service.query("g", 0, 0) == 0.0
+
+    def test_cancelled_future_does_not_kill_worker(
+        self, served_graph, served_oracle
+    ):
+        with DistanceService(max_wait_ms=20.0) as service:
+            service.register("g", served_oracle)
+            first = service.query_async("g", 0, 5)
+            first.cancel()  # may or may not win the race with the worker
+            # The worker must keep serving either way.
+            assert service.query("g", 0, 5) == served_oracle.query(0, 5)
+            assert first.cancelled() or first.result() == served_oracle.query(0, 5)
+
+
+class TestRegistry:
+    def test_open_hosts_via_open_oracle(self, served_graph):
+        with DistanceService() as service:
+            service.open("a", served_graph, num_landmarks=6)
+            service.open("b", served_graph, num_landmarks=6, dynamic=True)
+            assert service.names() == ["a", "b"]
+            assert service.query("a", 0, 1) == service.query("b", 0, 1)
+
+    def test_duplicate_and_unknown_names_raise(self, served_graph, served_oracle):
+        with DistanceService() as service:
+            service.register("g", served_oracle)
+            with pytest.raises(ReproError, match="already registered"):
+                service.register("g", served_oracle)
+            with pytest.raises(ReproError, match="unknown graph"):
+                service.query("nope", 0, 1)
+
+    def test_unbuilt_oracle_rejected(self):
+        from repro.api import make_oracle
+
+        with DistanceService() as service:
+            with pytest.raises(ReproError, match="built"):
+                service.register("g", make_oracle("hl"))
+
+    def test_closed_service_raises(self, served_graph, served_oracle):
+        service = DistanceService()
+        service.register("g", served_oracle)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.query("g", 0, 1)
+        with pytest.raises(ServiceClosedError):
+            service.register("h", served_oracle)
+        service.close()  # idempotent
+
+
+class TestDynamicUpdates:
+    def test_static_oracle_refuses_updates(self, served_graph, served_oracle):
+        with DistanceService() as service:
+            service.register("g", served_oracle)
+            with pytest.raises(CapabilityError, match="DYNAMIC"):
+                service.insert_edge("g", 0, 1)
+
+    def test_update_is_visible_and_versioned(self, served_graph):
+        with DistanceService(max_wait_ms=0.0) as service:
+            service.open("g", served_graph, num_landmarks=8, dynamic=True)
+            oracle = service.oracle("g")
+            rng = np.random.default_rng(11)
+            while True:
+                u, v = (int(x) for x in rng.integers(0, served_graph.num_vertices, 2))
+                if u != v and not oracle.graph.has_edge(u, v):
+                    break
+            assert service.version("g") == 0
+            before = service.query("g", u, v)
+            assert before > 1.0
+            service.insert_edge("g", u, v)
+            assert service.version("g") == 2  # seqlock: back to even
+            assert service.query("g", u, v) == 1.0
+            service.delete_edge("g", u, v)
+            assert service.version("g") == 4
+            assert service.query("g", u, v) == before
+            assert service.stats("g")["updates"] == 2
+
+    def test_updates_under_concurrent_load_stay_exact(self, served_graph):
+        """Hammer queries while edges stream in; then cross-check the
+        final served state against a fresh build (byte-identical store)."""
+        with DistanceService(max_wait_ms=0.5) as service:
+            service.open("g", served_graph, num_landmarks=8, dynamic=True)
+            oracle = service.oracle("g")
+            pairs = sample_vertex_pairs(served_graph, 400, seed=13)
+            stop = threading.Event()
+            errors: list = []
+
+            def hammer():
+                i = 0
+                try:
+                    while not stop.is_set():
+                        s, t = pairs[i % len(pairs)]
+                        service.query("g", int(s), int(t))
+                        i += 1
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            workers = [threading.Thread(target=hammer) for _ in range(6)]
+            for w in workers:
+                w.start()
+            rng = np.random.default_rng(29)
+            inserted = 0
+            while inserted < 4:
+                u, v = (int(x) for x in rng.integers(0, served_graph.num_vertices, 2))
+                if u == v or oracle.graph.has_edge(u, v):
+                    continue
+                service.insert_edge("g", u, v)
+                inserted += 1
+            stop.set()
+            for w in workers:
+                w.join()
+            assert not errors
+            fresh = build_oracle(
+                oracle.graph,
+                "hl",
+                landmarks=[int(r) for r in oracle.highway.landmarks],
+            )
+            check = sample_vertex_pairs(oracle.graph, 300, seed=31)
+            assert np.array_equal(
+                service.query_many("g", check), fresh.query_many(check)
+            )
+            assert oracle.labelling == fresh.labelling
+
+
+class TestSnapshotsAndStats:
+    def test_save_round_trips_through_service(
+        self, served_graph, served_oracle, tmp_path
+    ):
+        from repro.api import open_oracle
+
+        path = tmp_path / "served.hl"
+        with DistanceService() as service:
+            service.register("g", served_oracle)
+            written = service.save("g", path)
+        assert written == path.stat().st_size
+        restored = open_oracle(served_graph, index=path)
+        pairs = sample_vertex_pairs(served_graph, 100, seed=37)
+        assert np.array_equal(
+            restored.query_many(pairs), served_oracle.query_many(pairs)
+        )
+
+    def test_snapshot_requires_capability(self, served_graph, tmp_path):
+        with DistanceService() as service:
+            service.open("g", served_graph, method="bibfs")
+            with pytest.raises(CapabilityError, match="SNAPSHOT"):
+                service.save("g", tmp_path / "x.hl")
+
+    def test_stats_shape(self, served_graph, served_oracle):
+        with DistanceService(max_wait_ms=0.0) as service:
+            service.register("g", served_oracle)
+            for _ in range(5):
+                service.query("g", 0, 1)
+            stats = service.stats("g")
+            everything = service.stats()
+        assert stats["queries"] == 5
+        assert stats["batches"] >= 1
+        assert stats["qps"] > 0
+        assert stats["p50_ms"] >= 0 and stats["p99_ms"] >= stats["p50_ms"]
+        assert stats["version"] == 0
+        assert set(everything) == {"g"}
