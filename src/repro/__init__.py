@@ -16,11 +16,14 @@ Every distance method (HL and all baselines) is constructed through
 :func:`repro.api.open_oracle` / :func:`repro.api.build_oracle` and
 speaks the capability-based :class:`repro.api.DistanceOracle` protocol;
 :class:`repro.serving.DistanceService` serves hosted graphs to
-concurrent callers. Direct ``HighwayCoverOracle(...)`` construction
-still works but the factories are the supported entry point.
+concurrent callers, and :class:`repro.serving.ShardedDistanceService`
+(``shards=N`` on the factories) scales one graph across worker
+processes sharing a zero-copy snapshot. Direct
+``HighwayCoverOracle(...)`` construction still works but the factories
+are the supported entry point.
 
-See ``README.md`` for the architecture overview, ``DESIGN.md`` for the
-system inventory, and ``EXPERIMENTS.md`` for the paper-vs-measured record.
+See ``README.md`` for the overview and the ``docs/`` tree for the
+architecture, the code-to-paper map, and the serving-stack guide.
 """
 
 from repro.api import (
@@ -48,14 +51,16 @@ from repro.graphs.generators import (
     watts_strogatz_graph,
 )
 from repro.landmarks.selection import select_landmarks
-from repro.serving import DistanceService
+from repro.serving import DistanceService, QueryCache, ShardedDistanceService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Capability",
     "DistanceOracle",
     "DistanceService",
+    "QueryCache",
+    "ShardedDistanceService",
     "open_oracle",
     "build_oracle",
     "make_oracle",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.api.protocol import Capability
 from repro.graphs.graph import Graph
@@ -90,16 +90,40 @@ def available_methods() -> List[MethodSpec]:
     return [_REGISTRY[key] for key in sorted(_REGISTRY)]
 
 
-def make_oracle(method: str = "hl", *, dynamic: bool = False, **options):
+def make_oracle(
+    method: str = "hl",
+    *,
+    dynamic: bool = False,
+    shards: Optional[int] = None,
+    **options,
+):
     """Instantiate an *unbuilt* oracle for ``method``.
 
     Args:
         method: registered method name or alias (case-insensitive).
         dynamic: request the incrementally-updatable variant
             (:data:`Capability.DYNAMIC`); raises for methods without one.
+        shards: with ``shards >= 2``, return an unbuilt
+            :class:`~repro.serving.ShardedDistanceService` — ``build``
+            spawns that many worker processes mapping one shared
+            snapshot zero-copy. Requires a snapshot-capable method (the
+            HL family); the sharded tier is always dynamic-capable, so
+            ``dynamic`` is implied. ``None``/1 means the ordinary
+            single-process oracle.
         **options: forwarded to the method's constructor (e.g.
-            ``num_landmarks=``, ``engine=``, ``store=``, ``budget_s=``).
+            ``num_landmarks=``, ``engine=``, ``store=``, ``budget_s=``)
+            — plus the sharded tier's knobs (``update_mode=``,
+            ``cache_size=``, ...) when ``shards`` is given.
+
+    Raises:
+        KeyError: unknown method name.
+        ValueError: ``dynamic=True`` for a method without a dynamic
+            variant, or ``shards`` for one without snapshots.
     """
+    if shards is not None and shards > 1:
+        from repro.serving.sharded import ShardedDistanceService
+
+        return ShardedDistanceService(shards, method=method, **options)
     spec = resolve_method(method)
     if dynamic and not spec.supports_dynamic:
         raise ValueError(
@@ -112,11 +136,22 @@ def make_oracle(method: str = "hl", *, dynamic: bool = False, **options):
 
 
 def build_oracle(
-    source: GraphSource, method: str = "hl", *, dynamic: bool = False, **options
+    source: GraphSource,
+    method: str = "hl",
+    *,
+    dynamic: bool = False,
+    shards: Optional[int] = None,
+    **options,
 ):
-    """Build an oracle of ``method`` over a graph or edge-list path."""
+    """Build an oracle of ``method`` over a graph or edge-list path.
+
+    ``shards >= 2`` builds the index once and serves it from that many
+    worker processes (see :func:`make_oracle`).
+    """
     graph = as_graph(source)
-    return make_oracle(method, dynamic=dynamic, **options).build(graph)
+    return make_oracle(method, dynamic=dynamic, shards=shards, **options).build(
+        graph
+    )
 
 
 def open_oracle(
@@ -124,8 +159,9 @@ def open_oracle(
     *,
     index: PathLike = None,
     method: str = "hl",
-    mmap: bool = False,
+    mmap: Optional[bool] = None,
     dynamic: bool = False,
+    shards: Optional[int] = None,
     **options,
 ):
     """Obtain a ready-to-query oracle — build fresh or restore a snapshot.
@@ -143,16 +179,45 @@ def open_oracle(
             can be restored.
         method: method to build when ``index`` is not given.
         mmap: with ``index``, map the label arrays zero-copy instead of
-            reading them into RAM (requires a v2 snapshot).
+            reading them into RAM (requires a v2 snapshot). Defaults to
+            copying loads for single-process oracles and zero-copy
+            mapping for sharded serving; pass an explicit ``True`` /
+            ``False`` to override either.
         dynamic: return the incrementally-updatable oracle variant. With
             ``index``, the restored state is promoted to a
             :class:`~repro.core.dynamic.DynamicHighwayCoverOracle`.
+        shards: with ``shards >= 2``, serve the index from that many
+            worker processes behind a
+            :class:`~repro.serving.ShardedDistanceService` — with
+            ``index``, every worker maps the given snapshot file
+            zero-copy by default (requires a v2 snapshot; ``mmap=False``
+            forces copying loads, e.g. for a v1 file); without, the
+            index is built once and spooled. Sharded serving is always
+            dynamic-capable, so ``dynamic`` is implied. Service knobs
+            (``update_mode=``, ``cache_size=``, ...) pass through
+            ``**options``.
         **options: forwarded to the method constructor when building.
 
     Returns:
         A built oracle satisfying :class:`~repro.api.DistanceOracle`.
+
+    Raises:
+        ValueError: ``mmap`` without ``index``, constructor options
+            alongside a restored single-process ``index``, or a
+            non-snapshot method with ``index``/``shards``.
     """
     graph = as_graph(source)
+    if shards is not None and shards > 1:
+        from repro.serving.sharded import ShardedDistanceService
+
+        return ShardedDistanceService(
+            shards,
+            method=method,
+            index=index,
+            mmap=True if mmap is None else mmap,
+            **options,
+        ).build(graph)
+    mmap = bool(mmap)
     if index is None:
         if mmap:
             raise ValueError("mmap=True requires index= (a saved snapshot)")
@@ -242,6 +307,7 @@ def _make_hl_dynamic(dynamic: bool = True, **options):
 
 def _lazy(module: str, cls: str) -> Callable[..., object]:
     def factory(**options):
+        """Instantiate the lazily-imported oracle class."""
         import importlib
 
         return getattr(importlib.import_module(module), cls)(**options)

@@ -119,9 +119,11 @@ class DynamicUpdates(Protocol):
     """Capability layer: edge insertions *and* deletions (``Capability.DYNAMIC``)."""
 
     def insert_edge(self, u: int, v: int) -> Sequence[int]:
+        """Insert an edge, repairing the index to exactness on the new graph."""
         ...
 
     def delete_edge(self, u: int, v: int) -> Sequence[int]:
+        """Delete an edge, repairing the index to exactness on the new graph."""
         ...
 
 
@@ -139,6 +141,7 @@ class PathReconstruction(Protocol):
     """Capability layer: witness paths (``Capability.PATHS``)."""
 
     def shortest_path(self, s: int, t: int) -> Optional[List[int]]:
+        """A witness path whose hop count equals ``query(s, t)``, or ``None``."""
         ...
 
 

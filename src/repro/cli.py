@@ -16,10 +16,17 @@ Commands:
   engine.
 * ``bench-dataset <name>`` — build HL on one surrogate and report
   CT/ALS/size/coverage.
-* ``serve-bench [--threads 16] [--queries 2000]`` — drive a
-  :class:`~repro.serving.DistanceService` with a synthetic concurrent
+* ``serve-bench [--threads 16] [--queries 2000] [--shards N]`` — drive
+  a :class:`~repro.serving.DistanceService` with a synthetic concurrent
   workload, assert exactness against looped ``oracle.query``, and
-  report QPS / batch occupancy / latency percentiles.
+  report QPS / batch occupancy / latency percentiles. ``--shards N``
+  (N > 1) backs the hosted graph with the multi-process
+  :class:`~repro.serving.ShardedDistanceService` instead of the
+  in-process oracle.
+* ``shard-bench [--shards 4] [--batches 16]`` — compare single-process
+  ``query_many`` against the process-sharded service on the same bulk
+  workload, assert byte-identical answers, and report per-config
+  throughput plus the cached-point-query rate.
 * ``methods`` — list every registered oracle method with its
   capability set (the README matrix, live).
 * ``datasets`` — list the twelve surrogate networks.
@@ -191,32 +198,56 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         [oracle.query(int(s), int(t)) for s, t in pairs], dtype=float
     )
 
+    sharded = None
+    tmpdir = None
+    if args.shards > 1:
+        import tempfile
+
+        from repro.serving import ShardedDistanceService
+
+        # Serve the already-built index through N worker processes
+        # mapping one shared snapshot (the ground-truth oracle stays
+        # untouched in this process). The directory must outlive the
+        # workers that map the file.
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        snapshot = f"{tmpdir.name}/bench.hl"
+        oracle.save(snapshot)
+        sharded = ShardedDistanceService.from_snapshot(
+            graph, snapshot, shards=args.shards
+        )
+
     results = np.full(len(pairs), np.nan, dtype=float)
     errors: List[BaseException] = []
-    with DistanceService(
-        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
-    ) as service:
-        service.register("bench", oracle)
+    try:
+        with DistanceService(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        ) as service:
+            service.register("bench", sharded if sharded is not None else oracle)
 
-        def drive(lo: int, hi: int) -> None:
-            try:
-                for i in range(lo, hi):
-                    results[i] = service.query(
-                        "bench", int(pairs[i, 0]), int(pairs[i, 1])
-                    )
-            except BaseException as exc:  # surfaced after the join
-                errors.append(exc)
+            def drive(lo: int, hi: int) -> None:
+                try:
+                    for i in range(lo, hi):
+                        results[i] = service.query(
+                            "bench", int(pairs[i, 0]), int(pairs[i, 1])
+                        )
+                except BaseException as exc:  # surfaced after the join
+                    errors.append(exc)
 
-        bounds = np.linspace(0, len(pairs), args.threads + 1).astype(int)
-        threads = [
-            threading.Thread(target=drive, args=(int(lo), int(hi)))
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        stats = service.stats("bench")
+            bounds = np.linspace(0, len(pairs), args.threads + 1).astype(int)
+            threads = [
+                threading.Thread(target=drive, args=(int(lo), int(hi)))
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats("bench")
+    finally:
+        if sharded is not None:
+            sharded.close()
+        if tmpdir is not None:
+            tmpdir.cleanup()
 
     if errors:
         print(f"error: a client thread failed: {errors[0]!r}", file=sys.stderr)
@@ -225,10 +256,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     mismatches = int((results != expected).sum())
     print(
         format_table(
-            ["threads", "queries", "QPS", "batches", "occupancy", "p50", "p99"],
+            ["threads", "shards", "queries", "QPS", "batches", "occupancy", "p50", "p99"],
             [
                 [
                     args.threads,
+                    args.shards,
                     stats["queries"],
                     f"{stats['qps']:,.0f}",
                     stats["batches"],
@@ -253,6 +285,83 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"exact: {len(pairs)}/{len(pairs)} match looped oracle.query")
+    return 0
+
+
+def _cmd_shard_bench(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from repro.graphs.generators import barabasi_albert_graph
+    from repro.serving import ShardedDistanceService
+
+    if args.graph is not None:
+        graph = read_edge_list(args.graph)
+    else:
+        graph = barabasi_albert_graph(args.n, 3, seed=7, name="shard-bench")
+    oracle = build_oracle(graph, "hl", num_landmarks=args.landmarks)
+    pairs = sample_vertex_pairs(graph, args.pairs, seed=args.seed)
+    batches = np.array_split(pairs, args.batches)
+
+    # Single-process baseline: the same bulk workload through one
+    # vectorized engine (what DistanceService.query_many would run).
+    t0 = time.perf_counter()
+    expected = np.concatenate([oracle.query_many(b) for b in batches])
+    single_s = time.perf_counter() - t0
+
+    # Serve the already-built index, don't rebuild it: save once and let
+    # every worker map the snapshot (the directory outlives the workers).
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-shard-bench-")
+    snapshot = f"{tmpdir.name}/bench.hl"
+    oracle.save(snapshot)
+    with ShardedDistanceService.from_snapshot(
+        graph, snapshot, shards=args.shards
+    ) as svc:
+        t0 = time.perf_counter()
+        sharded = np.concatenate([svc.query_many(b) for b in batches])
+        sharded_s = time.perf_counter() - t0
+        # Hot-pair phase: the same point queries twice; the second pass
+        # is answered by the in-front QueryCache.
+        hot = pairs[: min(len(pairs), 256)]
+        for s, t in hot:
+            svc.query(int(s), int(t))
+        t0 = time.perf_counter()
+        cached = [svc.query(int(s), int(t)) for s, t in hot]
+        cached_s = time.perf_counter() - t0
+        stats = svc.stats()
+    tmpdir.cleanup()
+
+    mismatches = int((sharded != expected).sum())
+    cache_ok = cached == [float(x) for x in expected[: len(hot)]]
+    speedup = single_s / sharded_s if sharded_s else float("inf")
+    print(
+        format_table(
+            ["config", "pairs", "wall", "QPS", "vs single"],
+            [
+                ["single-process", len(pairs), f"{single_s:.3f}s",
+                 f"{len(pairs) / single_s:,.0f}", "-"],
+                [f"sharded x{args.shards}", len(pairs), f"{sharded_s:.3f}s",
+                 f"{len(pairs) / sharded_s:,.0f}", f"{speedup:.2f}x"],
+                ["cached points", len(hot), f"{cached_s:.3f}s",
+                 f"{len(hot) / cached_s:,.0f}" if cached_s else "inf", "-"],
+            ],
+        )
+    )
+    print(
+        f"cores={os.cpu_count()} cache_hits={stats['cache']['hits']} "
+        f"snapshot={stats['snapshot']}"
+    )
+    if mismatches or not cache_ok:
+        print(
+            f"error: {mismatches}/{len(pairs)} sharded answers differ from "
+            f"the single-process engine",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"exact: {len(pairs)}/{len(pairs)} match single-process query_many")
     return 0
 
 
@@ -389,7 +498,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-batch", type=int, default=512)
     p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="back the graph with N worker processes (1 = in-process oracle)",
+    )
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_shard = sub.add_parser(
+        "shard-bench",
+        help="single-process vs process-sharded bulk throughput, "
+        "exactness-verified",
+    )
+    p_shard.add_argument(
+        "--graph", default=None, help="edge-list file (default: synthetic BA)"
+    )
+    p_shard.add_argument(
+        "--n", type=int, default=20000, help="synthetic graph size"
+    )
+    p_shard.add_argument("-k", "--landmarks", type=int, default=20)
+    p_shard.add_argument("--shards", type=int, default=4)
+    p_shard.add_argument(
+        "--pairs", type=int, default=20000, help="total bulk query pairs"
+    )
+    p_shard.add_argument(
+        "--batches", type=int, default=16, help="bulk calls the workload is split into"
+    )
+    p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.set_defaults(func=_cmd_shard_bench)
 
     p_methods = sub.add_parser(
         "methods", help="list registered oracle methods and capabilities"

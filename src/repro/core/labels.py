@@ -46,6 +46,7 @@ class VertexLabel:
         return len(self.landmark_indices)
 
     def entries(self) -> Iterator[Tuple[int, int]]:
+        """Yield the ``(landmark_index, distance)`` pairs of this label."""
         for r, d in zip(self.landmark_indices, self.distances):
             yield int(r), int(d)
 
@@ -75,6 +76,7 @@ class LabelStore(ABC):
         return VertexLabel(idx, dist)
 
     def label_size(self, v: int) -> int:
+        """``|L(v)|`` — the number of entries in one vertex's label."""
         return len(self.label_arrays(v)[0])
 
     # -- Per-landmark access (construction / repair side) -------------------
@@ -156,9 +158,11 @@ class HighwayCoverLabelling(LabelStore):
         return self.landmark_indices[lo:hi], self.distances[lo:hi]
 
     def label_size(self, v: int) -> int:
+        """``|L(v)|`` straight from the offsets (no array slicing)."""
         return int(self.offsets[v + 1] - self.offsets[v])
 
     def size(self) -> int:
+        """Total entry count — the length of the flat label arrays."""
         return int(len(self.landmark_indices))
 
     def entries_of_landmark(self, landmark_index: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -176,6 +180,7 @@ class HighwayCoverLabelling(LabelStore):
         return vertices, self.distances[positions].astype(np.int32)
 
     def as_vertex_major(self) -> "HighwayCoverLabelling":
+        """Already vertex-major: returns ``self`` (no copy)."""
         return self
 
     def as_landmark_major(self) -> "LandmarkMajorLabelStore":
@@ -292,8 +297,12 @@ class LandmarkMajorLabelStore(LabelStore):
         )
 
     def entries_of_landmark(self, landmark_index: int) -> Tuple[np.ndarray, np.ndarray]:
-        # Read-only views: callers must go through set_landmark_result so
-        # the size total and the cached frozen view stay in sync.
+        """One landmark's ``(vertices, distances)`` run, vertex-ascending.
+
+        Returns read-only views: callers must go through
+        :meth:`set_landmark_result` so the size total and the cached
+        frozen view stay in sync.
+        """
         vertices = self._runs_vertices[landmark_index].view()
         distances = self._runs_distances[landmark_index].view()
         vertices.setflags(write=False)
@@ -301,6 +310,7 @@ class LandmarkMajorLabelStore(LabelStore):
         return vertices, distances
 
     def size(self) -> int:
+        """Total entry count, maintained incrementally across splices."""
         return int(self._total)
 
     # -- Layout conversion ----------------------------------------------------
@@ -341,6 +351,7 @@ class LandmarkMajorLabelStore(LabelStore):
         return self._frozen
 
     def as_landmark_major(self) -> "LandmarkMajorLabelStore":
+        """Already landmark-major: returns ``self`` (no copy)."""
         return self
 
 

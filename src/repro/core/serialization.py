@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Union
+from typing import BinaryIO, Optional, Union
 
 import numpy as np
 
@@ -224,6 +224,7 @@ def load_oracle(
         sec_landmarks, sec_highway, sec_offsets, sec_ids, sec_dists, _ = sections
 
         def read_section(start: int, count: int, dtype: str, what: str) -> np.ndarray:
+            """Read one array section into RAM, validating its length."""
             handle.seek(start)
             return np.frombuffer(
                 _read_exact(handle, count * np.dtype(dtype).itemsize, path, what),
@@ -286,3 +287,67 @@ def _map_section(path: Path, start: int, count: int, dtype: str) -> np.ndarray:
     if count == 0:
         return np.empty(0, dtype=dtype)
     return np.memmap(path, dtype=dtype, mode="r", offset=start, shape=(count,))
+
+
+class SnapshotSpool:
+    """A directory of versioned snapshot files for multi-process serving.
+
+    The sharded serving tier (:class:`~repro.serving.ShardedDistanceService`)
+    keeps every worker process mapped onto one immutable v2 snapshot.
+    A dynamic update therefore never mutates the mapped file — the
+    writer publishes a *new* generation instead and workers re-map:
+
+    1. the writer repairs its in-RAM index and calls :meth:`publish`,
+       which writes ``gen-<seq>.hl`` into the spool directory;
+    2. the new path is broadcast to the workers, each of which calls
+       :func:`load_oracle` on it (``mmap=True``) — the worker-side
+       re-map hook;
+    3. once every worker has acknowledged, the writer calls
+       :meth:`retire` on the previous generation, deleting the file
+       nobody maps any more.
+
+    The spool owns its directory only when it created it
+    (``directory=None``); :meth:`close` then removes everything.
+
+    Args:
+        directory: where generations are written. ``None`` creates a
+            private temporary directory that :meth:`close` deletes.
+        prefix: filename prefix for generation files.
+    """
+
+    def __init__(
+        self, directory: Optional[PathLike] = None, prefix: str = "gen"
+    ) -> None:
+        import tempfile
+
+        self._owned = directory is None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-spool-")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self._seq = 0
+
+    def publish(self, oracle, version: int = DEFAULT_VERSION) -> Path:
+        """Write the oracle's index as the next generation; returns its path.
+
+        Always a fresh file — existing generations are immutable, so
+        worker processes keep valid mappings of the old file while the
+        new one is written.
+        """
+        path = self.directory / f"{self.prefix}-{self._seq:06d}.hl"
+        self._seq += 1
+        save_oracle(oracle, path, version=version)
+        return path
+
+    def retire(self, path: PathLike) -> None:
+        """Delete a generation no process maps any more (missing is fine)."""
+        Path(path).unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Remove the spool directory if this spool created it; idempotent."""
+        if not self._owned:
+            return
+        import shutil
+
+        shutil.rmtree(self.directory, ignore_errors=True)

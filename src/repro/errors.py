@@ -48,6 +48,17 @@ class ServiceClosedError(ReproError):
     after (or while) it was closed."""
 
 
+class ShardError(ReproError):
+    """A shard worker process failed or died mid-request.
+
+    Raised by :class:`~repro.serving.ShardedDistanceService` when a
+    worker reports an unexpected error or its pipe closes; the message
+    names the shard and the worker-side exception. Malformed requests
+    (bad vertex ids, missing capabilities) are validated in the parent
+    process and raise their usual typed errors instead.
+    """
+
+
 class ConstructionBudgetExceeded(ReproError):
     """A labelling construction exceeded its time budget.
 

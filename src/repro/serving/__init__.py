@@ -1,12 +1,21 @@
-"""``repro.serving`` — the multi-graph, thread-safe serving facade.
+"""``repro.serving`` — the thread- and process-level serving tiers.
 
-:class:`DistanceService` hosts named graphs behind the capability-based
-oracle API, coalescing concurrent point queries into vectorized
-micro-batches and serializing dynamic updates against readers. See
-:mod:`repro.serving.service` for the design notes and
-``benchmarks/bench_serving.py`` for the recorded throughput evidence.
+Two cooperating layers (see ``docs/serving.md`` for the full design):
+
+* :class:`DistanceService` — the in-process, multi-graph facade:
+  coalesces concurrent point queries into vectorized micro-batches and
+  serializes dynamic updates against readers. See
+  :mod:`repro.serving.service` and ``benchmarks/bench_serving.py``.
+* :class:`ShardedDistanceService` — the multi-process tier: N worker
+  processes map one immutable v2 snapshot zero-copy (shared page
+  cache), point queries are cached (:class:`QueryCache`) and
+  hash-routed, bulk batches scatter/gather in order, and dynamic
+  updates broadcast to every worker. See :mod:`repro.serving.sharded`
+  and ``benchmarks/bench_sharding.py``.
 """
 
+from repro.serving.cache import QueryCache
 from repro.serving.service import DistanceService
+from repro.serving.sharded import ShardedDistanceService
 
-__all__ = ["DistanceService"]
+__all__ = ["DistanceService", "QueryCache", "ShardedDistanceService"]

@@ -1,0 +1,158 @@
+"""A bounded, version-invalidated LRU cache for point distance queries.
+
+Production distance workloads are heavily skewed — a small set of hot
+``(u, v)`` pairs (celebrity vertices, trending content) dominates the
+query stream — so an in-front cache answers a large share of traffic
+without touching any shard worker. :class:`QueryCache` is the layer
+:class:`~repro.serving.ShardedDistanceService` consults before routing:
+
+* **Bounded LRU.** At most ``capacity`` entries; a hit refreshes the
+  entry's recency, an insert beyond capacity evicts the least recently
+  used pair.
+* **Normalized keys.** The graphs are undirected and distances exact,
+  hence symmetric: ``(u, v)`` and ``(v, u)`` share one entry.
+* **Writer-version invalidation.** The cache carries the writer's
+  version counter. ``invalidate()`` (called after every
+  ``insert_edge`` / ``delete_edge`` broadcast completes) bumps the
+  version and drops every entry, and :meth:`put` *rejects* values
+  stamped with a stale version — a query dispatched before an update
+  but completing after it can never re-plant a pre-update distance.
+* **Thread safety.** All methods take one internal lock; callers never
+  need external synchronization.
+
+Example:
+    >>> cache = QueryCache(capacity=2)
+    >>> cache.put(3, 5, 2.0, cache.version)
+    True
+    >>> cache.get(5, 3)
+    2.0
+    >>> cache.invalidate()
+    >>> cache.get(3, 5) is None
+    True
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["QueryCache"]
+
+
+class QueryCache:
+    """Bounded LRU over ``(u, v) -> distance`` with version invalidation.
+
+    Args:
+        capacity: maximum number of cached pairs; at least 1. A capacity
+            of 0 is allowed and disables caching (every ``get`` misses,
+            every ``put`` is dropped) without callers having to branch.
+
+    Raises:
+        ValueError: if ``capacity`` is negative.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._version = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._stale_rejects = 0
+
+    @staticmethod
+    def _key(u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if u <= v else (v, u)
+
+    @property
+    def version(self) -> int:
+        """The current writer version; stamp :meth:`put` calls with it."""
+        with self._lock:
+            return self._version
+
+    def get(self, u: int, v: int) -> Optional[float]:
+        """The cached distance for the pair, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU recency.
+        """
+        key = self._key(int(u), int(v))
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, u: int, v: int, distance: float, version: int) -> bool:
+        """Insert a distance computed under writer version ``version``.
+
+        Returns:
+            ``True`` if the entry was stored; ``False`` if it was
+            rejected because ``version`` is stale (an update completed
+            between dispatch and completion) or the cache is disabled
+            (``capacity == 0``). Rejection is the correctness mechanism:
+            a stale put must never resurrect a pre-update distance.
+        """
+        if self.capacity == 0:
+            return False
+        key = self._key(int(u), int(v))
+        with self._lock:
+            if version != self._version:
+                self._stale_rejects += 1
+                return False
+            self._entries[key] = float(distance)
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return True
+
+    def invalidate(self) -> None:
+        """Drop every entry and bump the version (writer-side hook).
+
+        Called by the sharded service after an ``insert_edge`` /
+        ``delete_edge`` broadcast has been acknowledged by every worker;
+        from that point on, puts stamped with the old version are
+        rejected and all reads repopulate against the updated index.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._version += 1
+            self._invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def items(self) -> Dict[Tuple[int, int], float]:
+        """A snapshot copy of the current entries (for audits and tests)."""
+        with self._lock:
+            return dict(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters: hits, misses, evictions, invalidations, stale_rejects,
+        size, capacity, version."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+                "stale_rejects": self._stale_rejects,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "version": self._version,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryCache(size={len(self)}, capacity={self.capacity}, "
+            f"version={self._version})"
+        )

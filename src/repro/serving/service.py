@@ -88,6 +88,9 @@ class _Entry:
         self.oracle = oracle
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        #: True when the service constructed the oracle itself (via
+        #: ``open``) and therefore owns its lifecycle.
+        self.owns_oracle = False
         self.lock = threading.Lock()
         self.has_work = threading.Condition(self.lock)
         self.gate = threading.Condition(self.lock)
@@ -209,6 +212,7 @@ class _Entry:
     # -- Shutdown ------------------------------------------------------------
 
     def close(self) -> None:
+        """Drain the worker, then fail anything still queued."""
         with self.lock:
             self.closed = True
             self.has_work.notify_all()
@@ -280,10 +284,20 @@ class DistanceService:
             )
 
     def open(self, name: str, source, **open_options) -> None:
-        """Open an oracle via :func:`repro.api.open_oracle` and host it."""
+        """Open an oracle via :func:`repro.api.open_oracle` and host it.
+
+        Oracles opened this way are service-owned: :meth:`close` also
+        closes them (which shuts down worker processes when the entry is
+        backed by a :class:`~repro.serving.ShardedDistanceService`,
+        e.g. ``service.open(name, graph, shards=4)``). Pre-built oracles
+        hosted via :meth:`register` stay caller-owned.
+        """
         from repro.api.factory import open_oracle
 
-        self.register(name, open_oracle(source, **open_options))
+        oracle = open_oracle(source, **open_options)
+        self.register(name, oracle)
+        with self._registry_lock:
+            self._entries[name].owns_oracle = True
 
     def names(self) -> List[str]:
         """Hosted graph names, sorted."""
@@ -465,12 +479,22 @@ class DistanceService:
     # -- Lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop all batch workers; idempotent."""
+        """Stop all batch workers; idempotent.
+
+        Oracles the service opened itself (:meth:`open`) are closed
+        too, releasing any resources they hold (sharded worker
+        processes, snapshot spools); oracles hosted via
+        :meth:`register` belong to the caller and are left running.
+        """
         with self._registry_lock:
             self._closed = True
             entries = list(self._entries.values())
         for entry in entries:
             entry.close()
+        for entry in entries:
+            oracle_close = getattr(entry.oracle, "close", None)
+            if entry.owns_oracle and callable(oracle_close):
+                oracle_close()
 
     def __enter__(self) -> "DistanceService":
         return self

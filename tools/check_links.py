@@ -1,0 +1,105 @@
+"""Check that every relative link in the documentation resolves.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and inline
+code-path references, and verifies each non-external target exists in
+the repository:
+
+* ``[text](target)`` markdown links — external schemes (``http://``,
+  ``https://``, ``mailto:``) are skipped; ``#anchor`` suffixes are
+  stripped; bare ``#anchor`` self-links are checked against the file's
+  own headings.
+* Backtick-quoted repository paths like ``benchmarks/results/foo.txt``
+  or ``src/repro/core/labels.py`` — only strings that look like paths
+  (contain a ``/`` and end in a known extension) are checked, so prose
+  stays free.
+
+Run from the repository root (CI's docs job does)::
+
+    python tools/check_links.py
+
+Exits 0 when every link resolves, 1 otherwise (listing each failure).
+``tests/test_docs.py`` runs the same check inside the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: ``[text](target)`` — target captured without the closing paren.
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Backtick path mentions: must contain a slash and a known suffix.
+_CODE_PATH = re.compile(
+    r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.(?:py|md|txt|yml|yaml|hl))`"
+)
+#: Markdown heading lines, for #anchor validation.
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, punctuation out."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\s→-]", "", text, flags=re.UNICODE)
+    return re.sub(r"[\s→]+", "-", text).strip("-")
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    """All broken link targets in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    anchors = {_anchor_of(h) for h in _HEADING.findall(text)}
+    problems: List[str] = []
+
+    def resolve(target: str) -> None:
+        if target.startswith(("http://", "https://", "mailto:")):
+            return
+        base, _, anchor = target.partition("#")
+        if not base:  # pure #anchor: must name a heading in this file
+            if anchor and _anchor_of(anchor) not in anchors and anchor not in anchors:
+                problems.append(f"{path}: broken anchor #{anchor}")
+            return
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link -> {target}")
+        elif anchor and resolved.suffix == ".md":
+            other = _HEADING.findall(resolved.read_text(encoding="utf-8"))
+            other_anchors = {_anchor_of(h) for h in other}
+            if _anchor_of(anchor) not in other_anchors:
+                problems.append(
+                    f"{path}: broken anchor {base}#{anchor}"
+                )
+
+    for match in _MD_LINK.finditer(text):
+        resolve(match.group(1))
+    for match in _CODE_PATH.finditer(text):
+        candidate = match.group(1)
+        if not (root / candidate).exists():
+            problems.append(f"{path}: referenced path missing -> {candidate}")
+    return problems
+
+
+def main(root: Path = None) -> int:
+    """Check README.md and docs/*.md under ``root``; 0 = all good."""
+    root = Path(root) if root is not None else Path(__file__).resolve().parent.parent
+    targets = [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+    problems: List[str] = []
+    checked = 0
+    for path in targets:
+        if not path.exists():
+            problems.append(f"missing documentation file: {path}")
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{len(problems)} broken link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all links resolve across {checked} documentation file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
