@@ -120,6 +120,8 @@ def make_oracle(
         ValueError: ``dynamic=True`` for a method without a dynamic
             variant, or ``shards`` for one without snapshots.
     """
+    if shards is not None and shards < 1:
+        raise ValueError("shards must be at least 1")
     if shards is not None and shards > 1:
         from repro.serving.sharded import ShardedDistanceService
 
@@ -203,10 +205,12 @@ def open_oracle(
 
     Raises:
         ValueError: ``mmap`` without ``index``, constructor options
-            alongside a restored single-process ``index``, or a
-            non-snapshot method with ``index``/``shards``.
+            alongside a restored ``index`` (single-process and sharded
+            alike), or a non-snapshot method with ``index``/``shards``.
     """
     graph = as_graph(source)
+    if shards is not None and shards < 1:
+        raise ValueError("shards must be at least 1")
     if shards is not None and shards > 1:
         from repro.serving.sharded import ShardedDistanceService
 

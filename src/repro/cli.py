@@ -355,11 +355,18 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
         f"snapshot={stats['snapshot']}"
     )
     if mismatches or not cache_ok:
-        print(
-            f"error: {mismatches}/{len(pairs)} sharded answers differ from "
-            f"the single-process engine",
-            file=sys.stderr,
-        )
+        if mismatches:
+            print(
+                f"error: {mismatches}/{len(pairs)} sharded answers differ "
+                f"from the single-process engine",
+                file=sys.stderr,
+            )
+        if not cache_ok:
+            print(
+                f"error: cached point answers differ from the "
+                f"single-process engine ({len(hot)} hot pairs)",
+                file=sys.stderr,
+            )
         return 1
     print(f"exact: {len(pairs)}/{len(pairs)} match single-process query_many")
     return 0

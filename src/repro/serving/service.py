@@ -295,7 +295,16 @@ class DistanceService:
         from repro.api.factory import open_oracle
 
         oracle = open_oracle(source, **open_options)
-        self.register(name, oracle)
+        try:
+            self.register(name, oracle)
+        except BaseException:
+            # The freshly opened oracle has no owner yet — close it
+            # here or its resources (sharded worker processes, snapshot
+            # spools) would leak on a duplicate name / closed service.
+            oracle_close = getattr(oracle, "close", None)
+            if callable(oracle_close):
+                oracle_close()
+            raise
         with self._registry_lock:
             self._entries[name].owns_oracle = True
 

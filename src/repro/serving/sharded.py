@@ -125,11 +125,26 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
     """
     from repro.core.serialization import load_oracle
 
-    oracle = load_oracle(graph, snapshot_path, mmap=use_mmap)
-    if dynamic:
-        from repro.api.factory import _promote_dynamic
+    try:
+        oracle = load_oracle(graph, snapshot_path, mmap=use_mmap)
+        if dynamic:
+            from repro.api.factory import _promote_dynamic
 
-        oracle = _promote_dynamic(oracle)
+            oracle = _promote_dynamic(oracle)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+        # Startup failed (unreadable snapshot, promotion error): answer
+        # every request — the parent's fail-fast ping first — with the
+        # real diagnostic instead of dying into an opaque EOFError that
+        # only reaches the child's stderr.
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message[0] == "stop":
+                conn.close()
+                return
+            conn.send(("err", type(exc).__name__, str(exc)))
     while True:
         try:
             message = conn.recv()
@@ -388,7 +403,8 @@ class ShardedDistanceService:
 
     Raises:
         ValueError: on a non-positive shard count, unknown update mode,
-            or a method without snapshot support.
+            a method without snapshot support, or build options passed
+            alongside an existing ``index`` (which never consults them).
     """
 
     name = "HL-sharded"
@@ -428,6 +444,14 @@ class ShardedDistanceService:
             raise ValueError(
                 f"method {spec.name!r} has no snapshot format; sharded "
                 f"serving requires one (the HL family)"
+            )
+        if index is not None and build_options:
+            # Same contract as the single-process open_oracle path: a
+            # restored snapshot never consults the method constructor,
+            # so passing its options would be silently ignored.
+            raise ValueError(
+                f"constructor options {sorted(build_options)} are ignored "
+                f"when serving index={str(index)!r}; drop them"
             )
         self.shards = int(shards)
         self.method = spec.name
@@ -484,17 +508,24 @@ class ShardedDistanceService:
         if self._workers or self._closed:
             raise ReproError("sharded service is already started (or closed)")
         self._spool = SnapshotSpool(self._spool_dir)
-        if self._index is not None:
-            self._writer = load_oracle(graph, self._index, mmap=self.mmap)
-            self._snapshot_path = self._index
-        else:
-            from repro.api.factory import make_oracle
+        try:
+            if self._index is not None:
+                self._writer = load_oracle(graph, self._index, mmap=self.mmap)
+                self._snapshot_path = self._index
+            else:
+                from repro.api.factory import make_oracle
 
-            self._writer = make_oracle(self.method, **self._build_options).build(
-                graph
-            )
-            self._snapshot_path = self._spool.publish(self._writer)
-        self._spawn_workers(graph)
+                self._writer = make_oracle(
+                    self.method, **self._build_options
+                ).build(graph)
+                self._snapshot_path = self._spool.publish(self._writer)
+            self._spawn_workers(graph)
+        except BaseException:
+            # A failed build/spawn (bad snapshot, dead startup ping,
+            # Pipe/Process error) must not leak the shards already
+            # running or the spool directory.
+            self.close()
+            raise
         return self
 
     def _spawn_workers(self, graph: Graph) -> None:
@@ -685,15 +716,23 @@ class ShardedDistanceService:
                     new_path = None
                     task = ("update", op, u, v, None)
                 # Broadcast; every worker acknowledges before we publish
-                # the new version to readers. A shard whose ack fails is
-                # poisoned — it may still hold the pre-update index, and
-                # a poisoned shard refuses all future work rather than
-                # silently answering (and re-caching) stale distances.
-                futures = [
-                    (shard, shard.submit(_TaskItem(task)))
-                    for shard in self._workers
-                ]
+                # the new version to readers. A shard whose submit or
+                # ack fails is poisoned — it may still hold the
+                # pre-update index, and a poisoned shard refuses all
+                # future work rather than silently answering (and
+                # re-caching) stale distances. A failure must not stop
+                # the broadcast: the remaining shards still get the
+                # update, so every live shard either applies it or is
+                # poisoned — never left behind unmarked.
+                futures = []
                 first_error: Optional[BaseException] = None
+                for shard in self._workers:
+                    try:
+                        futures.append((shard, shard.submit(_TaskItem(task))))
+                    except BaseException as exc:  # noqa: BLE001
+                        shard.poison()
+                        if first_error is None:
+                            first_error = exc
                 for shard, future in futures:
                     try:
                         future.result()
@@ -701,16 +740,23 @@ class ShardedDistanceService:
                         shard.poison()
                         if first_error is None:
                             first_error = exc
-                if first_error is not None:
-                    raise first_error
+                # Swap the snapshot path even on a partial failure: the
+                # shards that acked have re-mapped to the new
+                # generation (failed ones are poisoned), so it is the
+                # live file — leaving the old path would misreport
+                # stats() and orphan the new generation in the spool.
                 if new_path is not None:
                     old_path, self._snapshot_path = self._snapshot_path, new_path
                     # Only retire generations the spool owns — never a
-                    # user-supplied index file.
+                    # user-supplied index file. Unlinking is safe even
+                    # if a poisoned worker still maps the old file: the
+                    # mapping keeps the inode alive until it is dropped.
                     if self._spool is not None and Path(old_path).parent == Path(
                         self._spool.directory
                     ):
                         self._spool.retire(old_path)
+                if first_error is not None:
+                    raise first_error
             finally:
                 # The writer has already repaired — the pre-update world
                 # is gone even on a failed broadcast, so the version

@@ -337,6 +337,18 @@ class TestFactoryAndFacadeIntegration:
         with pytest.raises(ValueError, match="snapshot"):
             make_oracle("pll", shards=2)
 
+    def test_nonpositive_shards_rejected_at_the_factories(
+        self, sharded_graph
+    ):
+        # Only None/1 mean single-process; 0 or negative (e.g. a
+        # computed worker count that bottomed out) must raise, exactly
+        # as direct ShardedDistanceService construction does.
+        for bad in (0, -2):
+            with pytest.raises(ValueError, match="at least 1"):
+                make_oracle("hl", shards=bad)
+            with pytest.raises(ValueError, match="at least 1"):
+                open_oracle(sharded_graph, shards=bad)
+
     def test_distance_service_hosts_sharded_backend(
         self, sharded_graph, snapshot_path, reference_oracle
     ):
@@ -373,6 +385,38 @@ class TestFactoryAndFacadeIntegration:
             assert not process.is_alive()
         with pytest.raises(ServiceClosedError):
             backend.query(3, 250)
+
+    def test_open_register_failure_closes_the_opened_oracle(
+        self, sharded_graph, snapshot_path, monkeypatch
+    ):
+        """If register rejects (duplicate name), the oracle that open
+        just built must be closed, not leaked with live workers."""
+        import repro.api.factory as factory
+
+        opened = []
+        real_open = factory.open_oracle
+
+        def spy(source, **kw):
+            oracle = real_open(source, **kw)
+            opened.append(oracle)
+            return oracle
+
+        monkeypatch.setattr(factory, "open_oracle", spy)
+        with DistanceService(max_wait_ms=0.5) as service:
+            service.open("g", sharded_graph, index=snapshot_path, shards=2)
+            with pytest.raises(ReproError, match="already registered"):
+                service.open(
+                    "g", sharded_graph, index=snapshot_path, shards=2
+                )
+            assert len(opened) == 2
+            doomed = opened[1]
+            for shard in doomed._workers:
+                shard.process.join(timeout=10)
+                assert not shard.process.is_alive()
+            with pytest.raises(ServiceClosedError):
+                doomed.query(0, 1)
+            # The survivor keeps serving.
+            assert service.query("g", 3, 250) == opened[0].query(3, 250)
 
     def test_snapshot_and_paths_capabilities(
         self, sharded, reference_oracle, tmp_path
@@ -479,6 +523,78 @@ class TestErrorPaths:
             assert svc.version() == 1
         finally:
             svc.close()
+
+    def test_broadcast_reaches_shards_past_a_poisoned_one(
+        self, sharded_graph, snapshot_path
+    ):
+        """A submit failure on an early shard must not abort the update
+        broadcast: every later shard still receives and applies the
+        update, so no live shard is left silently serving pre-update
+        distances."""
+        from repro.errors import ShardError
+
+        svc = ShardedDistanceService.from_snapshot(
+            sharded_graph, snapshot_path, shards=2
+        )
+        try:
+            # An absent edge whose point route is shard 1, so shard 1's
+            # post-update answer is directly observable.
+            u, v = next(
+                (s, t)
+                for s in range(50)
+                for t in range(450, 500)
+                if not sharded_graph.has_edge(s, t)
+                and route_of(s, t, 2) == 1
+            )
+            assert svc.query(u, v) > 1.0
+            svc._workers[0].poison()  # shard 0 rejects the broadcast
+            with pytest.raises(ShardError):
+                svc.insert_edge(u, v)
+            assert svc.version() == 1
+            # Shard 1 was still told: the hash-routed point query (the
+            # cache was flushed) answers on the post-insert graph.
+            assert svc.query(u, v) == 1.0
+            # And the snapshot bookkeeping followed the partial
+            # failure: the acked shards re-mapped to the published
+            # generation, so stats() must name it, not the old file.
+            assert svc.stats()["snapshot"].split("/")[-1].startswith("gen-")
+            # While anything routed to the poisoned shard fails loudly.
+            s0, t0 = next(
+                (s, t)
+                for s in range(50)
+                for t in range(450, 500)
+                if route_of(s, t, 2) == 0
+            )
+            with pytest.raises(ShardError):
+                svc.query(s0, t0)
+        finally:
+            svc.close()
+
+    def test_failed_build_releases_spool_and_workers(
+        self, sharded_graph, tmp_path
+    ):
+        """A build that dies (here: unreadable index) must close what it
+        already opened — no lingering spool directory or workers."""
+        svc = ShardedDistanceService(2, index=tmp_path / "missing.hl")
+        with pytest.raises((OSError, ReproError)):
+            svc.build(sharded_graph)
+        assert svc._workers == []
+        assert not svc._spool.directory.exists()
+        with pytest.raises(ReproError):
+            svc.build(sharded_graph)  # closed, not half-started
+
+    def test_constructor_options_with_index_rejected(
+        self, sharded_graph, snapshot_path
+    ):
+        """Serving an existing snapshot never consults the method
+        constructor — passing its options is an error, exactly as on
+        the single-process open_oracle path."""
+        with pytest.raises(ValueError, match="ignored"):
+            ShardedDistanceService(2, index=snapshot_path, num_landmarks=4)
+        with pytest.raises(ValueError, match="ignored"):
+            open_oracle(
+                sharded_graph, index=snapshot_path, shards=2, num_landmarks=4
+            )
 
     def test_insert_existing_edge_fails_cleanly(self, sharded, sharded_graph):
         u, v = next(iter(sharded_graph.edges()))
