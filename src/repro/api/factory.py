@@ -164,6 +164,8 @@ def open_oracle(
     mmap: Optional[bool] = None,
     dynamic: bool = False,
     shards: Optional[int] = None,
+    wal: PathLike = None,
+    wal_fsync: str = "always",
     **options,
 ):
     """Obtain a ready-to-query oracle — build fresh or restore a snapshot.
@@ -198,6 +200,19 @@ def open_oracle(
             dynamic-capable, so ``dynamic`` is implied. Service knobs
             (``update_mode=``, ``cache_size=``, ...) pass through
             ``**options``.
+        wal: optional write-ahead-log path
+            (:class:`~repro.core.wal.WriteAheadLog`) making dynamic
+            updates crash-durable. An existing log is **replayed on
+            open**: the recorded churn is re-applied through the
+            O(affected) dynamic repair (torn tails from a crash
+            mid-append are repaired; replay is idempotent across the
+            publish/truncate window), then the log is attached so
+            every later update is logged before it mutates anything.
+            ``source`` (and ``index``) must describe the state the log
+            was started against. Implies ``dynamic=True``.
+        wal_fsync: log durability policy — ``"always"`` (default,
+            fsync per append), ``"batch"``, or ``"never"``; see
+            :data:`repro.core.wal.FSYNC_POLICIES`.
         **options: forwarded to the method constructor when building.
 
     Returns:
@@ -207,6 +222,9 @@ def open_oracle(
         ValueError: ``mmap`` without ``index``, constructor options
             alongside a restored ``index`` (single-process and sharded
             alike), or a non-snapshot method with ``index``/``shards``.
+        WalError: an existing ``wal`` file that is corrupt (torn tails
+            are repaired, checksum mismatches are not), or whose
+            records do not fit the graph.
     """
     graph = as_graph(source)
     if shards is not None and shards < 1:
@@ -219,13 +237,20 @@ def open_oracle(
             method=method,
             index=index,
             mmap=True if mmap is None else mmap,
+            wal=wal,
+            wal_fsync=wal_fsync,
             **options,
         ).build(graph)
     mmap = bool(mmap)
     if index is None:
         if mmap:
             raise ValueError("mmap=True requires index= (a saved snapshot)")
-        return build_oracle(graph, method, dynamic=dynamic, **options)
+        oracle = build_oracle(
+            graph, method, dynamic=dynamic or wal is not None, **options
+        )
+        if wal is not None:
+            oracle = _replay_and_attach(oracle, wal, wal_fsync)
+        return oracle
 
     spec = resolve_method(method)
     if Capability.SNAPSHOT not in spec.capabilities:
@@ -243,8 +268,10 @@ def open_oracle(
     oracle = load_oracle(graph, index, mmap=mmap)
     # Naming the dynamic method is as good as dynamic=True: restoring
     # "hl-dyn" must yield an oracle that honours Capability.DYNAMIC.
-    if dynamic or Capability.DYNAMIC in spec.capabilities:
+    if dynamic or wal is not None or Capability.DYNAMIC in spec.capabilities:
         oracle = _promote_dynamic(oracle)
+    if wal is not None:
+        oracle = _replay_and_attach(oracle, wal, wal_fsync)
     return oracle
 
 
@@ -282,6 +309,26 @@ def _promote_dynamic(oracle):
     dyn._landmark_mask = oracle._landmark_mask
     dyn.construction_seconds = oracle.construction_seconds
     return dyn
+
+
+def _replay_and_attach(oracle, wal_path, fsync: str):
+    """Open (or create) a WAL, replay its churn, attach it for appends.
+
+    Order matters: replay runs against the *detached* oracle (an
+    attached log would re-append its own records), and attachment
+    happens only after every record is re-applied — from then on each
+    ``insert_edge``/``delete_edge`` is logged before it mutates.
+    """
+    from repro.core.wal import WriteAheadLog, replay_into
+
+    log = WriteAheadLog(wal_path, fsync=fsync)
+    try:
+        replay_into(oracle, log.records())
+    except BaseException:
+        log.close()
+        raise
+    oracle.attach_wal(log)
+    return oracle
 
 
 # -- Built-in registrations ---------------------------------------------------

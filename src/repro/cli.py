@@ -27,6 +27,12 @@ Commands:
   ``query_many`` against the process-sharded service on the same bulk
   workload, assert byte-identical answers, and report per-config
   throughput plus the cached-point-query rate.
+* ``fsck <path> [<path> ...]`` — validate snapshot and write-ahead-log
+  files offline: every format invariant (magic/version/flags, section
+  alignment, offsets, id ranges, highway sentinel symmetry; WAL
+  checksums and torn tails) is checked and *all* violations reported,
+  with salvage guidance. Exit 0 = every file clean, 1 = at least one
+  violated invariant, 2 = a path could not be read.
 * ``methods`` — list every registered oracle method with its
   capability set (the README matrix, live).
 * ``datasets`` — list the twelve surrogate networks.
@@ -372,6 +378,37 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.core.fsck import fsck_path
+
+    worst = 0
+    for raw in args.paths:
+        report = fsck_path(raw)
+        unreadable = any(f.code == "unreadable" for f in report.findings)
+        if report.ok:
+            detail = next(
+                (f.message for f in report.findings if f.code == "clean"),
+                "clean",
+            )
+            print(f"{report.path}: OK ({report.kind}: {detail})")
+        else:
+            print(f"{report.path}: CORRUPT ({report.kind})")
+        for finding in report.findings:
+            if finding.code == "clean":
+                continue
+            stream = sys.stderr if finding.severity == "error" else sys.stdout
+            print(
+                f"  {finding.severity.upper()} [{finding.code}] "
+                f"{finding.message}",
+                file=stream,
+            )
+        if unreadable:
+            worst = max(worst, 2)
+        elif not report.ok:
+            worst = max(worst, 1)
+    return worst
+
+
 def _cmd_methods(_: argparse.Namespace) -> int:
     rows = []
     for spec in available_methods():
@@ -534,6 +571,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_shard.add_argument("--seed", type=int, default=0)
     p_shard.set_defaults(func=_cmd_shard_bench)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="validate snapshot / WAL files and report violated invariants",
+    )
+    p_fsck.add_argument(
+        "paths",
+        nargs="+",
+        help="snapshot (.hl) or write-ahead-log files to check",
+    )
+    p_fsck.set_defaults(func=_cmd_fsck)
 
     p_methods = sub.add_parser(
         "methods", help="list registered oracle methods and capabilities"

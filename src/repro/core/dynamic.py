@@ -34,6 +34,16 @@ used the removed edge, every shortest path from ``r`` survives, hence
 ``r``'s distances, DAG, and label run are all unchanged; otherwise the
 rerun pruned BFS on the new graph recomputes them exactly (including
 distance growth and disconnection).
+
+Durability: attach a :class:`~repro.core.wal.WriteAheadLog`
+(:meth:`~DynamicHighwayCoverOracle.attach_wal`, or let
+``repro.api.open_oracle(..., wal=path)`` do it) and every update is
+logged **before** the labels mutate — after a crash,
+``open_oracle(graph, index=snapshot, wal=path)`` replays the logged
+churn through this same repair and serves exact distances again. A
+successful :meth:`~DynamicHighwayCoverOracle.save` truncates the
+attached log (the snapshot now covers every logged update; the write
+itself is atomic and fsynced).
 """
 
 from __future__ import annotations
@@ -69,6 +79,29 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
     default_store = "landmark"
     CAPABILITIES = HighwayCoverOracle.CAPABILITIES | {Capability.DYNAMIC}
 
+    #: Attached write-ahead log, or ``None`` (no durability logging).
+    wal = None
+
+    def attach_wal(self, wal) -> None:
+        """Log every subsequent update to ``wal`` before applying it.
+
+        The log should already be replayed into this oracle
+        (:func:`repro.core.wal.replay_into`) — attaching first and
+        replaying after would re-log the replayed records.
+        """
+        self.wal = wal
+
+    def _wal_append(self, op: str, u: int, v: int) -> None:
+        """Make the update durable before any in-RAM state changes.
+
+        Runs after validation (a rejected update must not be logged)
+        and before the repair — the write-ahead contract: once the
+        label store mutates, the record is already on stable storage
+        (under the log's fsync policy).
+        """
+        if self.wal is not None:
+            self.wal.append(op, u, v)
+
     def insert_edge(self, u: int, v: int) -> List[int]:
         """Insert an undirected edge and repair labels incrementally.
 
@@ -89,6 +122,7 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
             raise ValueError(f"edge ({u}, {v}) already exists")
 
         affected = self._affected_landmarks(u, v)
+        self._wal_append("insert_edge", u, v)
         new_graph = graph.with_edges_added([(u, v)])
         return self._apply_update(new_graph, affected)
 
@@ -110,8 +144,24 @@ class DynamicHighwayCoverOracle(HighwayCoverOracle):
         if not graph.has_edge(u, v):
             raise ValueError(f"edge ({u}, {v}) does not exist")
         affected = self._affected_landmarks(u, v)
+        self._wal_append("delete_edge", u, v)
         new_graph = graph.with_edges_removed([(u, v)])
         return self._apply_update(new_graph, affected)
+
+    def save(self, path, version: int = 2) -> int:
+        """Persist the index; an attached WAL is truncated afterwards.
+
+        ``save_oracle`` is atomic and fsynced, so when it returns the
+        snapshot durably contains every logged update and the log's
+        records are redundant. A crash *between* the save and the
+        truncation is harmless: replay is idempotent against a snapshot
+        that already contains the logged updates (module docstring of
+        :mod:`repro.core.wal`).
+        """
+        written = super().save(path, version=version)
+        if self.wal is not None:
+            self.wal.truncate()
+        return written
 
     # -- Internals -----------------------------------------------------------
 

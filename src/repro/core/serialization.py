@@ -53,6 +53,7 @@ instead of a ``struct``/numpy exception.
 
 from __future__ import annotations
 
+import os
 import struct
 from pathlib import Path
 from typing import BinaryIO, Optional, Union
@@ -105,10 +106,40 @@ def _section_offsets(version: int, n: int, k: int, entries: int, narrow: bool):
     return (*starts, cursor)
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry to disk (best effort off-POSIX).
+
+    After ``os.replace`` the *file* is durable but the *name* lives in
+    the directory; a crash before the directory block reaches disk can
+    resurrect the old entry. Platforms that cannot open directories
+    (Windows) skip this — ``os.replace`` is still atomic there.
+    """
+    flags = getattr(os, "O_DIRECTORY", None)
+    if flags is None:  # pragma: no cover - non-POSIX
+        return
+    try:
+        fd = os.open(directory, os.O_RDONLY | flags)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def save_oracle(
     oracle: HighwayCoverOracle, path: PathLike, version: int = DEFAULT_VERSION
 ) -> int:
     """Write a built oracle's index to ``path``; returns bytes written.
+
+    The write is **atomic and durable**: the snapshot is assembled in a
+    same-directory temporary file, flushed and fsynced, then renamed
+    over ``path`` with ``os.replace`` (and the directory entry fsynced).
+    A crash at any point leaves either the old file or the complete new
+    one at ``path`` — never a truncated snapshot at a mappable name.
+    When this function returns, the snapshot is on stable storage (the
+    point at which a write-ahead log covering the same updates may be
+    truncated).
 
     Args:
         oracle: a built oracle (any label-store backend; the snapshot is
@@ -139,22 +170,36 @@ def save_oracle(
     sections = _section_offsets(version, n, k, entries, narrow)
 
     path = Path(path)
-    with path.open("wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(struct.pack(_HEADER_STRUCT, version, flags, n, k, entries))
-        id_dtype = "<u1" if narrow else "<u4"
-        payload = (
-            highway.landmarks.astype("<i8").tobytes(),
-            matrix.astype("<u2").tobytes(),
-            labelling.offsets.astype("<i8").tobytes(),
-            labelling.landmark_indices.astype(id_dtype).tobytes(),
-            labelling.distances.astype("<u1").tobytes(),
-        )
-        for start, blob in zip(sections, payload):
-            pad = start - handle.tell()
-            if pad:
-                handle.write(b"\x00" * pad)
-            handle.write(blob)
+    # Same directory as the target so os.replace is a rename, never a
+    # cross-device copy; the ".tmp" suffix keeps spool scans and fsck
+    # from ever mistaking an in-progress write for a snapshot.
+    tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(
+                struct.pack(_HEADER_STRUCT, version, flags, n, k, entries)
+            )
+            id_dtype = "<u1" if narrow else "<u4"
+            payload = (
+                highway.landmarks.astype("<i8").tobytes(),
+                matrix.astype("<u2").tobytes(),
+                labelling.offsets.astype("<i8").tobytes(),
+                labelling.landmark_indices.astype(id_dtype).tobytes(),
+                labelling.distances.astype("<u1").tobytes(),
+            )
+            for start, blob in zip(sections, payload):
+                pad = start - handle.tell()
+                if pad:
+                    handle.write(b"\x00" * pad)
+                handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)
     return path.stat().st_size
 
 
@@ -306,6 +351,14 @@ class SnapshotSpool:
        :meth:`retire` on the previous generation, deleting the file
        nobody maps any more.
 
+    Reopening an existing directory **resumes** the sequence after the
+    highest ``gen-*.hl`` already present — a generation number is never
+    reused, so a restarted writer can never overwrite a file an old
+    worker may still map (generations are immutable for their whole
+    lifetime). In-progress ``*.tmp`` writes from a crashed publisher are
+    ignored by the scan (and swept by :meth:`close`); the atomic publish
+    guarantees every ``gen-*.hl`` at its final name is complete.
+
     The spool owns its directory only when it created it
     (``directory=None``); :meth:`close` then removes everything.
 
@@ -326,28 +379,126 @@ class SnapshotSpool:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.prefix = prefix
-        self._seq = 0
+        self._seq = self._next_sequence()
+        self._live: set = set()
 
-    def publish(self, oracle, version: int = DEFAULT_VERSION) -> Path:
+    def _next_sequence(self) -> int:
+        """One past the highest existing generation number (0 if none)."""
+        highest = -1
+        for path in self.generations():
+            try:
+                highest = max(
+                    highest, int(path.stem[len(self.prefix) + 1 :])
+                )
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return highest + 1
+
+    def generations(self) -> list:
+        """Existing generation files, oldest first (``*.tmp`` excluded)."""
+        return sorted(self.directory.glob(f"{self.prefix}-*.hl"))
+
+    def latest(self) -> Optional[Path]:
+        """The newest generation file, or ``None`` for an empty spool."""
+        existing = self.generations()
+        return existing[-1] if existing else None
+
+    def live_generations(self) -> list:
+        """Generations published by this spool and not yet retired."""
+        return sorted(self._live)
+
+    @staticmethod
+    def graph_sidecar_for(path: PathLike) -> Path:
+        """The graph-sidecar path paired with a generation file."""
+        path = Path(path)
+        return path.with_suffix(".graph")
+
+    def publish(
+        self, oracle, version: int = DEFAULT_VERSION, graph: bool = False
+    ) -> Path:
         """Write the oracle's index as the next generation; returns its path.
 
         Always a fresh file — existing generations are immutable, so
         worker processes keep valid mappings of the old file while the
-        new one is written.
+        new one is written; the write itself is atomic and fsynced
+        (:func:`save_oracle`), so a crashed publish can never leave a
+        truncated file at a mappable ``gen-*.hl`` name. When this
+        returns, the generation is durably on disk — the point at which
+        a write-ahead log covering the same updates may be truncated.
+
+        Args:
+            oracle: the built oracle to snapshot.
+            version: snapshot format version.
+            graph: also write a ``gen-*.graph`` sidecar holding the
+                oracle's current graph (the compact binary CSR format),
+                so a crash-recovery open can reconstruct the exact
+                graph this generation's labels were built against
+                without replaying history from the base graph.
         """
         path = self.directory / f"{self.prefix}-{self._seq:06d}.hl"
         self._seq += 1
+        if graph:
+            self._write_graph_sidecar(oracle.graph, self.graph_sidecar_for(path))
         save_oracle(oracle, path, version=version)
+        self._live.add(path)
         return path
 
-    def retire(self, path: PathLike) -> None:
-        """Delete a generation no process maps any more (missing is fine)."""
-        Path(path).unlink(missing_ok=True)
+    def _write_graph_sidecar(self, graph, sidecar: Path) -> None:
+        """Atomically write the graph next to its generation file."""
+        from repro.graphs.io import write_binary
 
-    def close(self) -> None:
-        """Remove the spool directory if this spool created it; idempotent."""
+        tmp = sidecar.parent / f"{sidecar.name}.{os.getpid()}.tmp"
+        try:
+            write_binary(graph, tmp)
+            with tmp.open("rb") as handle:
+                os.fsync(handle.fileno())
+            os.replace(tmp, sidecar)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        _fsync_directory(sidecar.parent)
+
+    def retire(self, path: PathLike) -> None:
+        """Delete a generation no process maps any more (missing is fine).
+
+        Removes the graph sidecar, if any, alongside. Unlinking is safe
+        even while a straggler still maps the old file — the mapping
+        keeps the inode alive until it is dropped — but a *new* open of
+        the retired path will fail, which is why callers retire only
+        after every worker acknowledged the next generation.
+        """
+        path = Path(path)
+        path.unlink(missing_ok=True)
+        self.graph_sidecar_for(path).unlink(missing_ok=True)
+        self._live.discard(path)
+
+    def close(self, force: bool = False) -> None:
+        """Remove the spool directory if this spool created it; idempotent.
+
+        Deleting a generation a worker still maps does not corrupt that
+        worker (the inode survives), but it silently destroys state a
+        restart would need — so an owned spool **refuses** to close
+        while generations it published are still live (published and
+        never retired), unless ``force=True`` asserts that every
+        process mapping them has already exited (the sharded service
+        closes its workers first and then forces).
+
+        Raises:
+            ReproError: owned spool with live generations and
+                ``force=False`` — retire them (or close the processes
+                mapping them and pass ``force=True``) first.
+        """
         if not self._owned:
+            self._live.clear()
             return
+        if self._live and not force:
+            names = ", ".join(p.name for p in sorted(self._live))
+            raise ReproError(
+                f"spool {self.directory} still has live generations "
+                f"({names}); retire them first, or close(force=True) "
+                f"after every mapping process has exited"
+            )
         import shutil
 
         shutil.rmtree(self.directory, ignore_errors=True)
+        self._live.clear()

@@ -1,0 +1,390 @@
+"""Write-ahead log for dynamic edge updates (the durability layer).
+
+Between two snapshot publishes, every ``insert_edge`` / ``delete_edge``
+applied to a :class:`~repro.core.dynamic.DynamicHighwayCoverOracle`
+lives only in RAM — a crash would silently lose that churn. This module
+closes the gap with the standard write-ahead protocol:
+
+1. **Log before mutate.** The oracle appends the update record to the
+   WAL (and, under the default ``fsync="always"`` policy, waits for it
+   to reach stable storage) *before* touching its labels, so every
+   acknowledged update survives a crash.
+2. **Replay on open.** ``repro.api.open_oracle(..., wal=path)`` reopens
+   the log, re-applies the recorded churn through the O(affected)
+   dynamic repair (:func:`replay_into`), and attaches the log for
+   future appends — restart = snapshot + replay.
+3. **Truncate on publish.** Once a full snapshot of the repaired state
+   is durably on disk (``save_oracle`` is atomic since the same PR —
+   temp file, fsync, rename), the log's records are redundant and
+   :meth:`WriteAheadLog.truncate` cuts it back to its header.
+
+On-disk format (little-endian, append-only)::
+
+    header   "RPWL" + u32 version (= 1)
+    record   u32 payload length | u32 crc32(payload) | payload
+    payload  u8 opcode (1 = insert_edge, 2 = delete_edge) | u64 u | u64 v
+
+The length prefix makes a *torn tail* — a record cut short by a crash
+mid-append — detectable and distinguishable from corruption: a clean
+prefix followed by a partial record is expected crash debris (the
+update was never acknowledged) and reopening the log truncates it away,
+while a checksum mismatch or an impossible length *inside* the valid
+region is real corruption and raises :class:`~repro.errors.WalError`
+(``repro fsck`` reports both, see :mod:`repro.core.fsck`).
+
+Replay is **idempotent**: a record whose edge is already present
+(insert) or already absent (delete) in the oracle's graph is skipped.
+That covers the one ambiguous crash window — after a snapshot publish
+became durable but before the log was truncated — where the log's
+leading records are already reflected in the snapshot.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, List, Optional, Tuple, Union
+
+from repro.errors import WalError
+
+__all__ = [
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "replay_into",
+    "scan_wal",
+    "FSYNC_POLICIES",
+]
+
+WAL_MAGIC = b"RPWL"
+WAL_VERSION = 1
+_HEADER_STRUCT = "<I"  # version, after the magic
+HEADER_BYTES = 4 + struct.calcsize(_HEADER_STRUCT)  # 8
+_PREFIX_STRUCT = "<II"  # payload length, crc32(payload)
+_PREFIX_BYTES = struct.calcsize(_PREFIX_STRUCT)  # 8
+_PAYLOAD_STRUCT = "<BQQ"  # opcode, u, v
+_PAYLOAD_BYTES = struct.calcsize(_PAYLOAD_STRUCT)  # 17
+
+_OP_INSERT = 1
+_OP_DELETE = 2
+_OPCODES = {"insert_edge": _OP_INSERT, "delete_edge": _OP_DELETE}
+_OPNAMES = {code: name for name, code in _OPCODES.items()}
+
+#: Supported durability policies for :class:`WriteAheadLog`:
+#: ``"always"`` fsyncs after every append (an acknowledged update is
+#: crash-durable — the default), ``"batch"`` flushes to the OS after
+#: every append but fsyncs only on :meth:`~WriteAheadLog.sync` /
+#: :meth:`~WriteAheadLog.truncate` / :meth:`~WriteAheadLog.close`
+#: (a kernel crash can lose the tail, a process crash cannot), and
+#: ``"never"`` leaves flushing to the OS entirely (testing / bulk
+#: loads).
+FSYNC_POLICIES = ("always", "batch", "never")
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged edge update: ``op`` is ``insert_edge`` or ``delete_edge``."""
+
+    op: str
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """The result of scanning a log file (see :func:`scan_wal`).
+
+    ``records`` is every complete, checksum-valid record in order;
+    ``valid_bytes`` is the offset of the end of the last complete record
+    (the truncation point for torn-tail repair); ``torn_bytes`` is the
+    length of the partial record after it (0 for a clean log).
+    """
+
+    records: Tuple[WalRecord, ...]
+    valid_bytes: int
+    torn_bytes: int
+
+
+def _encode(op: str, u: int, v: int) -> bytes:
+    try:
+        code = _OPCODES[op]
+    except KeyError:
+        raise WalError(f"unknown WAL operation {op!r}") from None
+    if u < 0 or v < 0:
+        raise WalError(f"negative vertex id in WAL record ({u}, {v})")
+    payload = struct.pack(_PAYLOAD_STRUCT, code, u, v)
+    prefix = struct.pack(_PREFIX_STRUCT, len(payload), zlib.crc32(payload))
+    return prefix + payload
+
+
+def _scan_stream(handle: BinaryIO, path: Path) -> WalScan:
+    """Scan an opened log positioned at byte 0; see :func:`scan_wal`."""
+    header = handle.read(HEADER_BYTES)
+    if len(header) < HEADER_BYTES or header[:4] != WAL_MAGIC:
+        raise WalError(f"{path}: not a repro WAL file (bad or short header)")
+    (version,) = struct.unpack(_HEADER_STRUCT, header[4:])
+    if version != WAL_VERSION:
+        raise WalError(f"{path}: unsupported WAL version {version}")
+    records: List[WalRecord] = []
+    valid = HEADER_BYTES
+    while True:
+        prefix = handle.read(_PREFIX_BYTES)
+        if not prefix:
+            return WalScan(tuple(records), valid, 0)
+        if len(prefix) < _PREFIX_BYTES:
+            return WalScan(tuple(records), valid, len(prefix))
+        length, crc = struct.unpack(_PREFIX_STRUCT, prefix)
+        if length != _PAYLOAD_BYTES:
+            # An impossible length cannot be crash debris from this
+            # writer (prefixes are written atomically with their
+            # payload buffer): the valid region itself is corrupt.
+            raise WalError(
+                f"{path}: corrupt WAL — impossible record length {length} "
+                f"at byte {valid} (expected {_PAYLOAD_BYTES})"
+            )
+        payload = handle.read(length)
+        if len(payload) < length:
+            return WalScan(
+                tuple(records), valid, _PREFIX_BYTES + len(payload)
+            )
+        if zlib.crc32(payload) != crc:
+            raise WalError(
+                f"{path}: corrupt WAL — checksum mismatch in record "
+                f"{len(records)} at byte {valid}"
+            )
+        code, u, v = struct.unpack(_PAYLOAD_STRUCT, payload)
+        if code not in _OPNAMES:
+            raise WalError(
+                f"{path}: corrupt WAL — unknown opcode {code} in record "
+                f"{len(records)} at byte {valid}"
+            )
+        records.append(WalRecord(_OPNAMES[code], u, v))
+        valid += _PREFIX_BYTES + length
+
+
+def scan_wal(path: PathLike) -> WalScan:
+    """Read and validate a WAL file without opening it for writing.
+
+    Returns:
+        A :class:`WalScan`: the complete records, the torn-tail length
+        (0 when the file ends exactly on a record boundary), and the
+        valid byte count.
+
+    Raises:
+        WalError: bad magic/version, a checksum mismatch, or an
+            impossible record length inside the valid region — real
+            corruption, as opposed to a torn tail (which is reported,
+            not raised: it is the expected debris of a crash
+            mid-append).
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        return _scan_stream(handle, path)
+
+
+class WriteAheadLog:
+    """An append-only, checksummed log of edge updates.
+
+    Opening an existing log validates it and truncates any torn tail
+    (debris of a crash mid-append — that update was never acknowledged,
+    so dropping it is correct); opening a missing path creates an empty
+    log. Appends are crash-durable under the default policy.
+
+    Args:
+        path: log file location (created if missing).
+        fsync: one of :data:`FSYNC_POLICIES` — ``"always"`` (default),
+            ``"batch"``, or ``"never"``.
+
+    Raises:
+        WalError: an unknown policy, or an existing file that is not a
+            valid WAL (corruption inside the valid region included).
+
+    Example:
+        >>> import tempfile, os
+        >>> path = os.path.join(tempfile.mkdtemp(), "wal.log")
+        >>> wal = WriteAheadLog(path)
+        >>> wal.append("insert_edge", 3, 17)
+        1
+        >>> [r.op for r in wal.records()]
+        ['insert_edge']
+        >>> wal.truncate(); len(wal)
+        0
+        >>> wal.close()
+    """
+
+    def __init__(self, path: PathLike, fsync: str = "always") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self._records: List[WalRecord] = []
+        if self.path.exists() and self.path.stat().st_size > 0:
+            scan = scan_wal(self.path)
+            self._records = list(scan.records)
+            self._handle = self.path.open("r+b")
+            if scan.torn_bytes:
+                # Torn-tail repair: the partial record was never
+                # acknowledged, so cutting it restores the invariant
+                # that the file is a clean sequence of records.
+                self._handle.truncate(scan.valid_bytes)
+                self._sync_file()
+            self._handle.seek(scan.valid_bytes)
+        else:
+            self._handle = self.path.open("w+b")
+            self._handle.write(WAL_MAGIC)
+            self._handle.write(struct.pack(_HEADER_STRUCT, WAL_VERSION))
+            self._handle.flush()
+            self._sync_file()
+        self._closed = False
+
+    # -- Appending -----------------------------------------------------------
+
+    def append(self, op: str, u: int, v: int) -> int:
+        """Log one update; returns the record count after the append.
+
+        Under ``fsync="always"`` the record is on stable storage when
+        this returns — the caller may then mutate in-RAM state knowing
+        the update is replayable.
+
+        Args:
+            op: ``"insert_edge"`` or ``"delete_edge"``.
+            u, v: edge endpoints.
+
+        Raises:
+            WalError: unknown operation, negative endpoint, or a closed
+                log.
+        """
+        self._require_open()
+        self._handle.write(_encode(op, int(u), int(v)))
+        self._handle.flush()
+        if self.fsync == "always":
+            self._sync_file()
+        self._records.append(WalRecord(op, int(u), int(v)))
+        return len(self._records)
+
+    def sync(self) -> None:
+        """Force every appended record to stable storage (any policy)."""
+        self._require_open()
+        self._handle.flush()
+        self._sync_file()
+
+    # -- Truncation (snapshot publish protocol) ------------------------------
+
+    def truncate(self) -> None:
+        """Cut the log back to its header — all records are now redundant.
+
+        Call **only after** a snapshot of the state containing every
+        logged update is durably on disk (:func:`save_oracle` and
+        :meth:`SnapshotSpool.publish <repro.core.serialization.SnapshotSpool.publish>`
+        are atomic and fsynced, so their return is that point). The
+        truncation itself is fsynced before returning, closing the
+        window where both the old log and the new snapshot describe the
+        same updates — replay of that window is idempotent anyway.
+        """
+        self._require_open()
+        self._handle.truncate(HEADER_BYTES)
+        self._handle.seek(HEADER_BYTES)
+        self._handle.flush()
+        self._sync_file()
+        self._records.clear()
+
+    # -- Introspection -------------------------------------------------------
+
+    def records(self) -> List[WalRecord]:
+        """Every record currently in the log, oldest first (a copy)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, fsync, and close the file; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.flush()
+            self._sync_file()
+        finally:
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"{len(self._records)} records"
+        return f"WriteAheadLog({str(self.path)!r}, fsync={self.fsync!r}, {state})"
+
+    # -- Internals -----------------------------------------------------------
+
+    def _sync_file(self) -> None:
+        if self.fsync == "never":
+            return
+        try:
+            os.fsync(self._handle.fileno())
+        except (OSError, io.UnsupportedOperation):  # pragma: no cover
+            pass  # fsync-less filesystems: flushed is the best we can do
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise WalError(f"{self.path}: WAL is closed")
+
+
+def replay_into(oracle, records) -> int:
+    """Re-apply logged updates to a restored oracle; returns applied count.
+
+    Each record runs through the oracle's own ``insert_edge`` /
+    ``delete_edge`` (the O(affected) dynamic repair), so the replayed
+    state is byte-identical to having applied the updates live — the
+    invariant the dynamic test suite pins. Records already reflected in
+    the oracle's graph (an insert whose edge exists, a delete whose edge
+    does not) are skipped, which makes replay idempotent across the
+    publish-then-truncate crash window.
+
+    The oracle must **not** have a WAL attached yet — replaying an
+    attached log would re-append every record to itself; attach after
+    replay (:func:`repro.api.open_oracle` orders this correctly).
+
+    Raises:
+        WalError: if the oracle re-logs during replay, or a record's
+            endpoints do not fit the oracle's graph.
+    """
+    if getattr(oracle, "wal", None) is not None:
+        raise WalError(
+            "replay_into() requires a detached oracle; attach the WAL "
+            "after replay, or it would re-log its own records"
+        )
+    applied = 0
+    for record in records:
+        has_edge = _edge_state(oracle, record)
+        if record.op == "insert_edge" and has_edge:
+            continue
+        if record.op == "delete_edge" and not has_edge:
+            continue
+        getattr(oracle, record.op)(record.u, record.v)
+        applied += 1
+    return applied
+
+
+def _edge_state(oracle, record: WalRecord) -> bool:
+    graph = oracle.graph
+    n = graph.num_vertices
+    if not (0 <= record.u < n and 0 <= record.v < n):
+        raise WalError(
+            f"WAL record {record.op}({record.u}, {record.v}) does not fit "
+            f"a graph with {n} vertices — wrong WAL for this graph?"
+        )
+    return bool(graph.has_edge(record.u, record.v))

@@ -59,6 +59,17 @@ class ShardError(ReproError):
     """
 
 
+class WalError(ReproError):
+    """A write-ahead log operation failed or the log file is corrupt.
+
+    Raised by :class:`~repro.core.wal.WriteAheadLog` on bad
+    magic/version, a checksum mismatch or impossible record length
+    inside the valid region (real corruption — a *torn tail* from a
+    crash mid-append is repaired silently instead), appends to a closed
+    log, and replay records that do not fit the target graph.
+    """
+
+
 class ConstructionBudgetExceeded(ReproError):
     """A labelling construction exceeded its time budget.
 

@@ -398,6 +398,20 @@ class ShardedDistanceService:
             the platform default.
         spool_dir: where snapshot generations are written; default is a
             private temporary directory removed on :meth:`close`.
+        wal: optional write-ahead-log path making the writer's updates
+            crash-durable. Every ``insert_edge``/``delete_edge`` is
+            logged (and fsynced, under the default policy) *before* the
+            writer repairs; in ``remap`` mode the log is truncated as
+            soon as the freshly published generation — written together
+            with a ``gen-*.graph`` sidecar of the post-update graph —
+            is durably on disk, so the log only ever holds the
+            in-flight window. An existing log is replayed into the
+            writer on :meth:`build` (restart = snapshot + replay)
+            before generation 0 is published. In ``repair`` mode there
+            is no per-update publish, so the log holds all churn since
+            the last explicit :meth:`save`.
+        wal_fsync: log durability policy (``"always"`` / ``"batch"`` /
+            ``"never"``); see :data:`repro.core.wal.FSYNC_POLICIES`.
         **build_options: forwarded to the method factory when building
             (``num_landmarks=``, ``engine=``, ...).
 
@@ -429,6 +443,8 @@ class ShardedDistanceService:
         max_batch: int = 1024,
         start_method: Optional[str] = None,
         spool_dir=None,
+        wal=None,
+        wal_fsync: str = "always",
         **build_options,
     ) -> None:
         from repro.api.factory import resolve_method
@@ -463,6 +479,9 @@ class ShardedDistanceService:
         self._index = None if index is None else Path(index)
         self._start_method = start_method
         self._spool_dir = spool_dir
+        self._wal_path = None if wal is None else Path(wal)
+        self._wal_fsync = wal_fsync
+        self._wal = None
         self._writer = None  # parent-side oracle; dynamic after 1st update
         self._writer_dynamic = False
         self._snapshot_path: Optional[Path] = None
@@ -497,6 +516,13 @@ class ShardedDistanceService:
         configured method builds the index here and generation 0 is
         published into the spool.
 
+        With ``wal=``, an existing log is replayed into the writer
+        first (crash recovery: ``graph``/``index`` must describe the
+        state the log was started against), a fresh post-replay
+        generation is published — so workers never map a pre-replay
+        index — and the log is truncated once that generation is
+        durable.
+
         Returns:
             ``self``, ready to query.
 
@@ -518,8 +544,18 @@ class ShardedDistanceService:
                 self._writer = make_oracle(
                     self.method, **self._build_options
                 ).build(graph)
-                self._snapshot_path = self._spool.publish(self._writer)
-            self._spawn_workers(graph)
+                self._snapshot_path = None
+            if self._wal_path is not None:
+                self._recover_from_wal()
+            if self._snapshot_path is None:
+                self._snapshot_path = self._spool.publish(
+                    self._writer, graph=self._wal_path is not None
+                )
+                if self._wal is not None:
+                    # Generation 0 durably contains every replayed
+                    # record — the log may be cut.
+                    self._wal.truncate()
+            self._spawn_workers(self._writer.graph)
         except BaseException:
             # A failed build/spawn (bad snapshot, dead startup ping,
             # Pipe/Process error) must not leak the shards already
@@ -527,6 +563,29 @@ class ShardedDistanceService:
             self.close()
             raise
         return self
+
+    def _recover_from_wal(self) -> None:
+        """Open the log, replay its churn into the writer, attach it.
+
+        Replaying can change the writer's state, so the snapshot the
+        workers map must be re-published afterwards:
+        ``_snapshot_path`` is reset to force a post-replay publish
+        (generation 0 of this incarnation) even when ``index=`` was
+        given.
+        """
+        from repro.core.wal import WriteAheadLog, replay_into
+
+        self._ensure_dynamic_writer()
+        wal = WriteAheadLog(self._wal_path, fsync=self._wal_fsync)
+        try:
+            replayed = replay_into(self._writer, wal.records())
+        except BaseException:
+            wal.close()
+            raise
+        self._writer.attach_wal(wal)
+        self._wal = wal
+        if replayed:
+            self._snapshot_path = None
 
     def _spawn_workers(self, graph: Graph) -> None:
         if self._start_method is not None:
@@ -569,8 +628,15 @@ class ShardedDistanceService:
         self._closed = True
         for shard in self._workers:
             shard.close()
+        if self._wal is not None:
+            self._wal.close()
         if self._spool is not None:
-            self._spool.close()
+            # force=True is safe here and only here: every worker that
+            # mapped a spool generation has just been joined, so no
+            # process holds a mapping the removal could orphan. Any
+            # other close order must retire generations first (the
+            # spool refuses otherwise).
+            self._spool.close(force=True)
 
     def __enter__(self) -> "ShardedDistanceService":
         return self
@@ -703,7 +769,9 @@ class ShardedDistanceService:
             try:
                 if self.update_mode == "remap":
                     try:
-                        new_path = self._spool.publish(self._writer)
+                        new_path = self._spool.publish(
+                            self._writer, graph=self._wal is not None
+                        )
                     except BaseException:
                         # The writer repaired but no worker can follow:
                         # every shard is now behind. Poison them all so
@@ -711,6 +779,14 @@ class ShardedDistanceService:
                         for shard in self._workers:
                             shard.poison()
                         raise
+                    if self._wal is not None:
+                        # The new generation (and its graph sidecar) is
+                        # durably on disk — save_oracle fsyncs before
+                        # renaming — so the logged record for this
+                        # update, and everything before it, is now
+                        # redundant. Crash between publish and this
+                        # truncate is covered by idempotent replay.
+                        self._wal.truncate()
                     task = ("update", op, u, v, str(new_path))
                 else:
                     new_path = None
@@ -839,8 +915,10 @@ class ShardedDistanceService:
         ``batches`` (worker round trips on the point path),
         ``batch_occupancy`` (mean point queries per round trip),
         ``updates``, ``version``, ``snapshot`` (current generation
-        path), ``per_shard`` (point queries routed to each worker) and
-        ``cache`` (the :meth:`QueryCache.stats` dict).
+        path), ``wal`` / ``wal_records`` (the attached write-ahead log
+        and its pending record count, or ``None``/0), ``per_shard``
+        (point queries routed to each worker) and ``cache`` (the
+        :meth:`QueryCache.stats` dict).
         """
         per_shard = []
         batches = 0
@@ -860,6 +938,8 @@ class ShardedDistanceService:
                 "updates": self._updates_total,
                 "version": self._version,
                 "snapshot": str(self._snapshot_path),
+                "wal": None if self._wal is None else str(self._wal.path),
+                "wal_records": 0 if self._wal is None else len(self._wal),
                 "per_shard": per_shard,
                 "cache": self.cache.stats(),
             }

@@ -35,12 +35,15 @@ AUDITED_MODULES = [
     "src/repro/serving/sharded.py",
     "src/repro/core/labels.py",
     "src/repro/core/serialization.py",
+    "src/repro/core/wal.py",
+    "src/repro/core/fsck.py",
 ]
 
 REQUIRED_DOCS = [
     "docs/architecture.md",
     "docs/paper_map.md",
     "docs/serving.md",
+    "docs/durability.md",
     "README.md",
 ]
 

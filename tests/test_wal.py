@@ -1,0 +1,311 @@
+"""Tests for the write-ahead log: format, torn-tail repair, replay."""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicHighwayCoverOracle
+from repro.core.wal import (
+    FSYNC_POLICIES,
+    HEADER_BYTES,
+    WAL_MAGIC,
+    WAL_VERSION,
+    WalRecord,
+    WriteAheadLog,
+    replay_into,
+    scan_wal,
+)
+from repro.errors import ReproError, WalError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.sampling import sample_vertex_pairs
+
+
+def _encode_record(op_code: int, u: int, v: int) -> bytes:
+    payload = struct.pack("<BQQ", op_code, u, v)
+    return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+
+
+def _non_edges(graph, count):
+    """Deterministic list of ``count`` vertex pairs that are not edges."""
+    out = []
+    n = graph.num_vertices
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v):
+                out.append((u, v))
+                if len(out) == count:
+                    return out
+    raise AssertionError("graph is complete")
+
+
+class TestFormat:
+    def test_new_log_writes_header(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            assert len(wal) == 0
+        data = path.read_bytes()
+        assert data[:4] == WAL_MAGIC
+        assert struct.unpack("<I", data[4:8]) == (WAL_VERSION,)
+        assert len(data) == HEADER_BYTES
+
+    def test_append_round_trips_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            assert wal.append("insert_edge", 3, 17) == 1
+            assert wal.append("delete_edge", 2**40, 5) == 2
+        scan = scan_wal(path)
+        assert scan.records == (
+            WalRecord("insert_edge", 3, 17),
+            WalRecord("delete_edge", 2**40, 5),
+        )
+        assert scan.torn_bytes == 0
+        assert scan.valid_bytes == path.stat().st_size
+
+    def test_reopen_restores_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append("insert_edge", 1, 2)
+        with WriteAheadLog(path) as wal:
+            assert wal.records() == [WalRecord("insert_edge", 1, 2)]
+            wal.append("delete_edge", 1, 2)
+            assert len(wal) == 2
+
+    def test_truncate_cuts_to_header(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            wal.append("insert_edge", 1, 2)
+            wal.truncate()
+            assert len(wal) == 0
+            # Appends after a truncation land at the header boundary.
+            wal.append("insert_edge", 7, 8)
+        assert scan_wal(path).records == (WalRecord("insert_edge", 7, 8),)
+
+    @pytest.mark.parametrize("policy", FSYNC_POLICIES)
+    def test_all_fsync_policies_round_trip(self, tmp_path, policy):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path, fsync=policy) as wal:
+            wal.append("insert_edge", 4, 9)
+            wal.sync()
+        assert scan_wal(path).records == (WalRecord("insert_edge", 4, 9),)
+
+    def test_rejects_unknown_policy_op_and_negative_ids(self, tmp_path):
+        with pytest.raises(WalError, match="fsync policy"):
+            WriteAheadLog(tmp_path / "w.log", fsync="sometimes")
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            with pytest.raises(WalError, match="unknown WAL operation"):
+                wal.append("rename_edge", 1, 2)
+            with pytest.raises(WalError, match="negative vertex id"):
+                wal.append("insert_edge", -1, 2)
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(WalError, match="closed"):
+            wal.append("insert_edge", 1, 2)
+
+    def test_wal_error_is_a_repro_error(self):
+        assert issubclass(WalError, ReproError)
+
+
+class TestTornTailAndCorruption:
+    def _log_with_records(self, tmp_path, count=3):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for i in range(count):
+                wal.append("insert_edge", i, i + 100)
+        return path
+
+    def test_torn_tail_reported_not_raised(self, tmp_path):
+        path = self._log_with_records(tmp_path)
+        whole = path.read_bytes()
+        for cut in range(1, 24):  # every prefix of one 25-byte record
+            path.write_bytes(whole[:-cut])
+            scan = scan_wal(path)
+            assert len(scan.records) == 2
+            assert scan.torn_bytes == 25 - cut
+            assert scan.valid_bytes == len(whole) - 25
+
+    def test_reopen_repairs_torn_tail(self, tmp_path):
+        path = self._log_with_records(tmp_path)
+        path.write_bytes(path.read_bytes()[:-11])  # mid-record
+        with WriteAheadLog(path) as wal:
+            assert len(wal) == 2
+            wal.append("delete_edge", 0, 100)
+        scan = scan_wal(path)  # the repair left a clean record sequence
+        assert scan.torn_bytes == 0
+        assert len(scan.records) == 3
+
+    def test_checksum_mismatch_raises(self, tmp_path):
+        path = self._log_with_records(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalError, match="checksum mismatch in record 2"):
+            scan_wal(path)
+        with pytest.raises(WalError, match="checksum"):
+            WriteAheadLog(path)
+
+    def test_impossible_length_raises(self, tmp_path):
+        path = self._log_with_records(tmp_path, count=1)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<I", data, HEADER_BYTES, 10_000)
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalError, match="impossible record length 10000"):
+            scan_wal(path)
+
+    def test_unknown_opcode_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        payload = WAL_MAGIC + struct.pack("<I", WAL_VERSION)
+        path.write_bytes(payload + _encode_record(9, 1, 2))
+        with pytest.raises(WalError, match="unknown opcode 9"):
+            scan_wal(path)
+
+    def test_bad_magic_and_version_raise(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOPE" + struct.pack("<I", WAL_VERSION))
+        with pytest.raises(WalError, match="not a repro WAL"):
+            scan_wal(path)
+        path.write_bytes(WAL_MAGIC + struct.pack("<I", 99))
+        with pytest.raises(WalError, match="unsupported WAL version 99"):
+            scan_wal(path)
+
+
+class TestReplay:
+    def _graph(self):
+        return barabasi_albert_graph(150, 3, seed=21)
+
+    def test_replay_matches_live_updates(self, tmp_path):
+        graph = self._graph()
+        (u1, v1), (u2, v2) = _non_edges(graph, 2)
+        live = DynamicHighwayCoverOracle(num_landmarks=8).build(graph)
+        live.attach_wal(WriteAheadLog(tmp_path / "wal.log"))
+        live.insert_edge(u1, v1)
+        live.insert_edge(u2, v2)
+        live.delete_edge(u1, v1)
+        live.wal.close()
+
+        restored = DynamicHighwayCoverOracle(num_landmarks=8).build(graph)
+        applied = replay_into(restored, scan_wal(tmp_path / "wal.log").records)
+        assert applied == 3
+        assert restored.labelling.as_vertex_major() == live.labelling.as_vertex_major()
+        pairs = sample_vertex_pairs(graph, 100, seed=3)
+        for s, t in pairs:
+            assert restored.query(int(s), int(t)) == live.query(int(s), int(t))
+
+    def test_replay_is_idempotent_over_applied_prefix(self, tmp_path):
+        # The publish-then-truncate crash window: the snapshot already
+        # contains the logged updates, so replay must skip them all.
+        graph = self._graph()
+        (u1, v1), (u2, v2) = _non_edges(graph, 2)
+        oracle = DynamicHighwayCoverOracle(num_landmarks=6).build(graph)
+        oracle.insert_edge(u1, v1)
+        oracle.delete_edge(u1, v1)
+        oracle.insert_edge(u2, v2)
+        before = oracle.labelling.as_vertex_major()
+        applied = replay_into(
+            oracle,
+            [
+                WalRecord("insert_edge", u2, v2),  # already present
+                WalRecord("delete_edge", u1, v1),  # already absent
+            ],
+        )
+        assert applied == 0
+        assert oracle.labelling.as_vertex_major() == before
+
+    def test_replay_refuses_attached_oracle(self, tmp_path):
+        oracle = DynamicHighwayCoverOracle(num_landmarks=4).build(self._graph())
+        oracle.attach_wal(WriteAheadLog(tmp_path / "wal.log"))
+        with pytest.raises(WalError, match="detached oracle"):
+            replay_into(oracle, [WalRecord("insert_edge", 0, 99)])
+        oracle.wal.close()
+
+    def test_replay_rejects_out_of_range_vertices(self):
+        oracle = DynamicHighwayCoverOracle(num_landmarks=4).build(self._graph())
+        with pytest.raises(WalError, match="does not fit"):
+            replay_into(oracle, [WalRecord("insert_edge", 0, 10_000)])
+
+    def test_log_before_mutate_ordering(self, tmp_path):
+        # A rejected update must not be logged: validation runs first.
+        graph = self._graph()
+        ((u, v),) = _non_edges(graph, 1)
+        oracle = DynamicHighwayCoverOracle(num_landmarks=4).build(graph)
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        oracle.attach_wal(wal)
+        with pytest.raises(ValueError):
+            oracle.insert_edge(0, 0)  # self loop
+        with pytest.raises(ValueError):
+            oracle.delete_edge(u, v)  # missing edge
+        assert len(wal) == 0
+        oracle.insert_edge(u, v)
+        assert wal.records() == [WalRecord("insert_edge", u, v)]
+        wal.close()
+
+    def test_save_truncates_attached_wal(self, tmp_path):
+        graph = self._graph()
+        ((u, v),) = _non_edges(graph, 1)
+        oracle = DynamicHighwayCoverOracle(num_landmarks=6).build(graph)
+        oracle.attach_wal(WriteAheadLog(tmp_path / "wal.log"))
+        oracle.insert_edge(u, v)
+        assert len(oracle.wal) == 1
+        oracle.save(tmp_path / "index.hl")
+        assert len(oracle.wal) == 0
+        assert scan_wal(tmp_path / "wal.log").records == ()
+        oracle.wal.close()
+
+
+class TestOpenOracleIntegration:
+    def test_open_oracle_replays_and_attaches(self, tmp_path):
+        from repro.api import build_oracle, open_oracle
+
+        graph = barabasi_albert_graph(150, 3, seed=22)
+        (u1, v1), (u2, v2) = _non_edges(graph, 2)
+        wal_path = tmp_path / "wal.log"
+        oracle = open_oracle(graph, wal=wal_path)
+        oracle.insert_edge(u1, v1)
+        oracle.insert_edge(u2, v2)
+        final_graph = oracle.graph
+        pairs = sample_vertex_pairs(graph, 80, seed=4)
+        expected = oracle.query_many(pairs)
+        oracle.wal.close()  # "crash": no save, no truncate
+
+        reopened = open_oracle(graph, wal=wal_path)
+        assert reopened.wal is not None and len(reopened.wal) == 2
+        assert np.array_equal(reopened.query_many(pairs), expected)
+        fresh = build_oracle(
+            final_graph, "hl", num_landmarks=reopened.num_landmarks
+        )
+        assert np.array_equal(fresh.query_many(pairs), expected)
+        reopened.wal.close()
+
+    def test_open_oracle_snapshot_plus_wal(self, tmp_path):
+        from repro.api import open_oracle
+
+        graph = barabasi_albert_graph(150, 3, seed=23)
+        ((u, v),) = _non_edges(graph, 1)
+        wal_path = tmp_path / "wal.log"
+        index = tmp_path / "index.hl"
+        oracle = open_oracle(graph, wal=wal_path)
+        oracle.save(index)  # truncates
+        oracle.insert_edge(u, v)
+        post_insert = oracle.graph
+        pairs = sample_vertex_pairs(graph, 80, seed=5)
+        expected = oracle.query_many(pairs)
+        oracle.wal.close()
+
+        # Restart from the snapshot: graph must match the snapshot's
+        # state (pre-insert), the WAL supplies the rest.
+        reopened = open_oracle(graph, index=index, wal=wal_path)
+        assert np.array_equal(reopened.query_many(pairs), expected)
+        assert reopened.graph.num_edges == post_insert.num_edges
+        reopened.wal.close()
+
+    def test_wal_implies_dynamic(self, tmp_path):
+        from repro.api import open_oracle
+
+        graph = barabasi_albert_graph(80, 2, seed=24)
+        oracle = open_oracle(graph, wal=tmp_path / "wal.log")
+        assert isinstance(oracle, DynamicHighwayCoverOracle)
+        oracle.wal.close()

@@ -1,0 +1,179 @@
+"""CI smoke for the durability layer: SIGKILL a writer, recover, verify.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/durability_smoke.py
+
+Two phases, both hard failures on any mismatch:
+
+1. **Crash recovery.** A child process builds a small oracle, publishes
+   generation 0 into a spool, applies churn under a write-ahead log,
+   and is SIGKILLed while stalled in the middle of publishing the next
+   generation (after the temp file is written, before the atomic
+   rename). The parent then restarts from the surviving generation plus
+   the WAL and asserts the served distances are **byte-identical** to a
+   fresh build of the final graph — the acceptance bar of the crash
+   protocol (atomic publish + log-before-mutate + idempotent replay).
+
+2. **fsck fixtures.** ``repro fsck`` runs over every committed fixture
+   in ``tests/fixtures/durability`` and must exit 0 on the clean files
+   and non-zero on each corrupted one, naming the violated invariant
+   recorded in the manifest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import build_oracle, open_oracle  # noqa: E402
+from repro.core.fsck import fsck_path  # noqa: E402
+from repro.core.wal import scan_wal  # noqa: E402
+from repro.graphs.generators import barabasi_albert_graph  # noqa: E402
+from repro.graphs.sampling import sample_vertex_pairs  # noqa: E402
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "durability"
+
+# The child builds, publishes gen 0, logs three updates, then stalls
+# inside the next publish (temp file durable, rename pending) where the
+# parent SIGKILLs it — the worst-possible crash point for a publisher.
+CHILD = textwrap.dedent(
+    """
+    import os, sys, time
+    from pathlib import Path
+
+    import repro.core.serialization as ser
+    from repro.core.dynamic import DynamicHighwayCoverOracle
+    from repro.core.serialization import SnapshotSpool
+    from repro.core.wal import WriteAheadLog
+    from repro.graphs.generators import barabasi_albert_graph
+
+    workdir = Path(sys.argv[1])
+    graph = barabasi_albert_graph(200, 2, seed=71)
+    oracle = DynamicHighwayCoverOracle(num_landmarks=8).build(graph)
+    spool = SnapshotSpool(workdir / "spool")
+    spool.publish(oracle)
+
+    oracle.attach_wal(WriteAheadLog(workdir / "wal.log"))
+    applied = 0
+    for u in range(200):
+        for v in range(u + 1, 200):
+            if not graph.has_edge(u, v):
+                oracle.insert_edge(u, v)
+                applied += 1
+                break
+        if applied == 3:
+            break
+
+    real_replace = os.replace
+    def stalling_replace(src, dst):
+        (workdir / "mid-publish").touch()
+        time.sleep(120)
+        real_replace(src, dst)
+
+    ser.os.replace = stalling_replace
+    spool.publish(oracle)
+    """
+)
+
+
+def crash_recovery_phase(workdir: Path) -> None:
+    """SIGKILL a publisher mid-rename, restart, assert byte-exactness."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    child = subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(workdir)], env=env
+    )
+    sentinel = workdir / "mid-publish"
+    try:
+        deadline = time.monotonic() + 120
+        while not sentinel.exists():
+            if time.monotonic() > deadline:
+                raise SystemExit("child never reached the stalled publish")
+            if child.poll() is not None:
+                raise SystemExit(f"child exited early ({child.returncode})")
+            time.sleep(0.05)
+    finally:
+        child.kill()
+        child.wait()
+    print("killed writer mid-publish (temp file written, rename pending)")
+
+    spool_dir = workdir / "spool"
+    generations = sorted(spool_dir.glob("*.hl"))
+    if [p.name for p in generations] != ["gen-000000.hl"]:
+        raise SystemExit(f"unexpected spool contents: {generations}")
+    report = fsck_path(generations[0])
+    if not report.ok:
+        raise SystemExit(f"surviving generation corrupt: {report.findings}")
+    print("old generation survived the crash and is fsck-clean")
+
+    graph = barabasi_albert_graph(200, 2, seed=71)
+    records = scan_wal(workdir / "wal.log").records
+    if len(records) != 3:
+        raise SystemExit(f"expected 3 WAL records, found {len(records)}")
+    recovered = open_oracle(
+        graph, index=generations[0], wal=workdir / "wal.log"
+    )
+
+    final = graph
+    for record in records:
+        final = final.with_edges_added([(record.u, record.v)])
+    fresh = build_oracle(final, "hl", num_landmarks=8)
+    pairs = sample_vertex_pairs(graph, 400, seed=17)
+    got = recovered.query_many(pairs)
+    want = fresh.query_many(pairs)
+    recovered.wal.close()
+    if got.dtype != want.dtype or not np.array_equal(got, want):
+        raise SystemExit("recovered distances differ from a fresh build")
+    print(f"restart + replay of {len(records)} records: "
+          f"{len(pairs)} distances byte-identical to a fresh build")
+
+
+def fsck_fixture_phase() -> None:
+    """``repro fsck`` must judge every committed fixture per manifest."""
+    with (FIXTURE_DIR / "manifest.json").open() as handle:
+        manifest = json.load(handle)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    for name, expected_code in sorted(manifest.items()):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fsck", str(FIXTURE_DIR / name)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        if expected_code is None:
+            if result.returncode != 0:
+                raise SystemExit(f"{name}: clean fixture rejected: {result.stderr}")
+            print(f"fsck {name}: clean (exit 0)")
+        else:
+            if result.returncode == 0:
+                raise SystemExit(f"{name}: corruption not detected")
+            if expected_code not in result.stderr:
+                raise SystemExit(
+                    f"{name}: expected invariant {expected_code!r} in: "
+                    f"{result.stderr}"
+                )
+            print(f"fsck {name}: flagged [{expected_code}] (exit {result.returncode})")
+
+
+def main() -> None:
+    """Run both phases in a scratch directory."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as scratch:
+        crash_recovery_phase(Path(scratch))
+    fsck_fixture_phase()
+    print("durability smoke passed")
+
+
+if __name__ == "__main__":
+    main()
