@@ -95,6 +95,7 @@ def make_oracle(
     *,
     dynamic: bool = False,
     shards: Optional[int] = None,
+    kernel: Optional[str] = None,
     **options,
 ):
     """Instantiate an *unbuilt* oracle for ``method``.
@@ -110,6 +111,10 @@ def make_oracle(
             HL family); the sharded tier is always dynamic-capable, so
             ``dynamic`` is implied. ``None``/1 means the ordinary
             single-process oracle.
+        kernel: query kernel backend name for the HL family
+            (:mod:`repro.core.kernels`); ``None`` defers to the process
+            default (``REPRO_KERNEL`` or auto-detection). Raises for
+            methods without a kernel seam (the baselines).
         **options: forwarded to the method's constructor (e.g.
             ``num_landmarks=``, ``engine=``, ``store=``, ``budget_s=``)
             — plus the sharded tier's knobs (``update_mode=``,
@@ -118,20 +123,30 @@ def make_oracle(
     Raises:
         KeyError: unknown method name.
         ValueError: ``dynamic=True`` for a method without a dynamic
-            variant, or ``shards`` for one without snapshots.
+            variant, ``shards``/``kernel`` for one without the matching
+            seam.
     """
     if shards is not None and shards < 1:
         raise ValueError("shards must be at least 1")
     if shards is not None and shards > 1:
         from repro.serving.sharded import ShardedDistanceService
 
-        return ShardedDistanceService(shards, method=method, **options)
+        return ShardedDistanceService(
+            shards, method=method, kernel=kernel, **options
+        )
     spec = resolve_method(method)
     if dynamic and not spec.supports_dynamic:
         raise ValueError(
             f"method {spec.name!r} has no dynamic variant; "
             f"only methods with supports_dynamic can take dynamic=True"
         )
+    if kernel is not None:
+        if Capability.SNAPSHOT not in spec.capabilities:
+            raise ValueError(
+                f"method {spec.name!r} has no kernel seam; "
+                f"kernel= applies to the HL family only"
+            )
+        options["kernel"] = kernel
     if spec.supports_dynamic:
         return spec.factory(dynamic=dynamic, **options)
     return spec.factory(**options)
@@ -143,6 +158,7 @@ def build_oracle(
     *,
     dynamic: bool = False,
     shards: Optional[int] = None,
+    kernel: Optional[str] = None,
     **options,
 ):
     """Build an oracle of ``method`` over a graph or edge-list path.
@@ -151,9 +167,9 @@ def build_oracle(
     worker processes (see :func:`make_oracle`).
     """
     graph = as_graph(source)
-    return make_oracle(method, dynamic=dynamic, shards=shards, **options).build(
-        graph
-    )
+    return make_oracle(
+        method, dynamic=dynamic, shards=shards, kernel=kernel, **options
+    ).build(graph)
 
 
 def open_oracle(
@@ -164,6 +180,7 @@ def open_oracle(
     mmap: Optional[bool] = None,
     dynamic: bool = False,
     shards: Optional[int] = None,
+    kernel: Optional[str] = None,
     wal: PathLike = None,
     wal_fsync: str = "always",
     **options,
@@ -200,6 +217,10 @@ def open_oracle(
             dynamic-capable, so ``dynamic`` is implied. Service knobs
             (``update_mode=``, ``cache_size=``, ...) pass through
             ``**options``.
+        kernel: query kernel backend name (:mod:`repro.core.kernels`).
+            Unlike ``**options`` this is *not* a construction knob — it
+            applies equally to restored snapshots (``index=``), so it is
+            never rejected alongside one.
         wal: optional write-ahead-log path
             (:class:`~repro.core.wal.WriteAheadLog`) making dynamic
             updates crash-durable. An existing log is **replayed on
@@ -237,6 +258,7 @@ def open_oracle(
             method=method,
             index=index,
             mmap=True if mmap is None else mmap,
+            kernel=kernel,
             wal=wal,
             wal_fsync=wal_fsync,
             **options,
@@ -246,7 +268,11 @@ def open_oracle(
         if mmap:
             raise ValueError("mmap=True requires index= (a saved snapshot)")
         oracle = build_oracle(
-            graph, method, dynamic=dynamic or wal is not None, **options
+            graph,
+            method,
+            dynamic=dynamic or wal is not None,
+            kernel=kernel,
+            **options,
         )
         if wal is not None:
             oracle = _replay_and_attach(oracle, wal, wal_fsync)
@@ -266,6 +292,8 @@ def open_oracle(
     from repro.core.serialization import load_oracle
 
     oracle = load_oracle(graph, index, mmap=mmap)
+    if kernel is not None:
+        oracle.set_kernel(kernel)
     # Naming the dynamic method is as good as dynamic=True: restoring
     # "hl-dyn" must yield an oracle that honours Capability.DYNAMIC.
     if dynamic or wal is not None or Capability.DYNAMIC in spec.capabilities:
@@ -302,6 +330,7 @@ def _promote_dynamic(oracle):
         landmarks=[int(r) for r in oracle.highway.landmarks],
         engine=oracle.engine,
         chunk_size=oracle.chunk_size,
+        kernel=oracle.kernel,
     )
     dyn.graph = oracle.graph
     dyn.labelling = oracle.labelling.as_landmark_major()

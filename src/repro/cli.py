@@ -8,12 +8,13 @@ Commands:
   [--store vertex|landmark] [--format-version 1|2]`` — build and
   persist an HL index (the stacked engine is the default; all engines
   and both label-store backends produce byte-identical indexes).
-* ``query <edgelist> <index> s t [s t ...] [--mmap]`` — exact distances
-  from a saved index; ``--mmap`` maps a v2 index zero-copy instead of
-  reading it into RAM.
+* ``query <edgelist> <index> s t [s t ...] [--mmap] [--kernel K]`` —
+  exact distances from a saved index; ``--mmap`` maps a v2 index
+  zero-copy instead of reading it into RAM, ``--kernel`` selects the
+  query kernel backend (see ``kernels``).
 * ``query-batch <edgelist> <index> [--pairs-file F | --random N]
-  [--mmap]`` — bulk exact distances through the vectorized batch
-  engine.
+  [--mmap] [--kernel K]`` — bulk exact distances through the vectorized
+  batch engine.
 * ``bench-dataset <name>`` — build HL on one surrogate and report
   CT/ALS/size/coverage.
 * ``serve-bench [--threads 16] [--queries 2000] [--shards N]`` — drive
@@ -35,6 +36,9 @@ Commands:
   violated invariant, 2 = a path could not be read.
 * ``methods`` — list every registered oracle method with its
   capability set (the README matrix, live).
+* ``kernels`` — list the query kernel backends
+  (:mod:`repro.core.kernels`) with availability, compiled/GIL flags,
+  and which one this environment auto-selects.
 * ``datasets`` — list the twelve surrogate networks.
 
 The CLI wraps the same public API the examples use — every oracle is
@@ -114,7 +118,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if len(args.vertices) % 2:
         print("error: provide an even number of vertex ids (s t pairs)", file=sys.stderr)
         return 2
-    oracle = open_oracle(args.graph, index=args.index, mmap=args.mmap)
+    oracle = open_oracle(
+        args.graph, index=args.index, mmap=args.mmap, kernel=args.kernel
+    )
     for i in range(0, len(args.vertices), 2):
         s, t = args.vertices[i], args.vertices[i + 1]
         d = oracle.query(s, t)
@@ -126,7 +132,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_query_batch(args: argparse.Namespace) -> int:
     import numpy as np
 
-    oracle = open_oracle(args.graph, index=args.index, mmap=args.mmap)
+    oracle = open_oracle(
+        args.graph, index=args.index, mmap=args.mmap, kernel=args.kernel
+    )
     graph = oracle.graph
     if args.pairs_file is not None:
         import warnings
@@ -196,7 +204,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         graph = read_edge_list(args.graph)
     else:
         graph = barabasi_albert_graph(args.n, 4, seed=7, name="serve-bench")
-    oracle = build_oracle(graph, "hl", num_landmarks=args.landmarks)
+    oracle = build_oracle(
+        graph, "hl", num_landmarks=args.landmarks, kernel=args.kernel
+    )
     pairs = sample_vertex_pairs(graph, args.queries, seed=args.seed)
 
     # Ground truth the slow, unambiguous way: one looped oracle.query.
@@ -219,7 +229,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         snapshot = f"{tmpdir.name}/bench.hl"
         oracle.save(snapshot)
         sharded = ShardedDistanceService.from_snapshot(
-            graph, snapshot, shards=args.shards
+            graph, snapshot, shards=args.shards, kernel=args.kernel
         )
 
     results = np.full(len(pairs), np.nan, dtype=float)
@@ -308,7 +318,9 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
         graph = read_edge_list(args.graph)
     else:
         graph = barabasi_albert_graph(args.n, 3, seed=7, name="shard-bench")
-    oracle = build_oracle(graph, "hl", num_landmarks=args.landmarks)
+    oracle = build_oracle(
+        graph, "hl", num_landmarks=args.landmarks, kernel=args.kernel
+    )
     pairs = sample_vertex_pairs(graph, args.pairs, seed=args.seed)
     batches = np.array_split(pairs, args.batches)
 
@@ -324,7 +336,7 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     snapshot = f"{tmpdir.name}/bench.hl"
     oracle.save(snapshot)
     with ShardedDistanceService.from_snapshot(
-        graph, snapshot, shards=args.shards
+        graph, snapshot, shards=args.shards, kernel=args.kernel
     ) as svc:
         t0 = time.perf_counter()
         sharded = np.concatenate([svc.query_many(b) for b in batches])
@@ -428,10 +440,46 @@ def _cmd_methods(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(_: argparse.Namespace) -> int:
+    from repro.core.kernels import (
+        KERNEL_NAMES,
+        available_kernels,
+        get_kernel,
+    )
+
+    usable = set(available_kernels())
+    default = get_kernel().name
+    rows = []
+    for name in KERNEL_NAMES:
+        if name in usable:
+            backend = get_kernel(name)
+            compiled = "x" if backend.compiled else "-"
+            nogil = "x" if backend.releases_gil else "-"
+            status = "available"
+        else:
+            compiled = nogil = "?"
+            status = "unavailable"
+        rows.append(
+            [name, compiled, nogil, "x" if name == default else "-", status]
+        )
+    print(format_table(["kernel", "compiled", "no-GIL", "default", "status"], rows))
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     for name in dataset_names():
         print(name)
     return 0
+
+
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="NAME",
+        help="query kernel backend (numpy/numba/cext/pyloop; "
+        "default: auto-detect, see 'repro kernels')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -493,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="map the v2 index zero-copy instead of reading it into RAM",
     )
+    _add_kernel_option(p_query)
     p_query.set_defaults(func=_cmd_query)
 
     p_batch = sub.add_parser(
@@ -514,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="map the v2 index zero-copy instead of reading it into RAM",
     )
+    _add_kernel_option(p_batch)
     p_batch.set_defaults(func=_cmd_query_batch)
 
     p_bench = sub.add_parser("bench-dataset", help="profile HL on a surrogate")
@@ -548,6 +598,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="back the graph with N worker processes (1 = in-process oracle)",
     )
+    _add_kernel_option(p_serve)
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_shard = sub.add_parser(
@@ -570,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", type=int, default=16, help="bulk calls the workload is split into"
     )
     p_shard.add_argument("--seed", type=int, default=0)
+    _add_kernel_option(p_shard)
     p_shard.set_defaults(func=_cmd_shard_bench)
 
     p_fsck = sub.add_parser(
@@ -587,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
         "methods", help="list registered oracle methods and capabilities"
     )
     p_methods.set_defaults(func=_cmd_methods)
+
+    p_kernels = sub.add_parser(
+        "kernels", help="list query kernel backends and the local default"
+    )
+    p_kernels.set_defaults(func=_cmd_kernels)
 
     p_list = sub.add_parser("datasets", help="list the surrogate networks")
     p_list.set_defaults(func=_cmd_datasets)

@@ -40,6 +40,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.highway import Highway
+from repro.core.kernels import KernelBackend, get_workspace, resolve_kernel
 from repro.core.labels import LabelStore
 from repro.errors import VertexError
 from repro.graphs.graph import Graph
@@ -96,6 +97,9 @@ class BatchQueryEngine:
             stacked grouped BFS; deeper pairs — where a unidirectional
             wave grows past what bidirectional meet-in-the-middle costs —
             fall back to per-pair bounded bidirectional search.
+        kernel: kernel backend name for the online searches (``None`` =
+            process default; see :mod:`repro.core.kernels`). Stored as a
+            name and resolved per batch so the engine stays picklable.
     """
 
     def __init__(
@@ -104,12 +108,17 @@ class BatchQueryEngine:
         labelling: LabelStore,
         highway: Highway,
         max_stacked_expansions: int = 3,
+        kernel: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.labelling = labelling.as_vertex_major()
         self.highway = highway
         self.max_stacked_expansions = max_stacked_expansions
+        self.kernel = kernel
         self.landmark_mask = highway.landmark_mask(graph.num_vertices)
+        # Entries per label; a zero marks a vertex no landmark can reach
+        # (the disconnected short-circuit in query_many keys off this).
+        self._label_counts = np.diff(self.labelling.offsets)
         # Dense landmark index per vertex (-1 for non-landmarks): lets the
         # label gather place a 0 in each landmark's own column, which makes
         # the one broadcast formula exact for landmark endpoints too.
@@ -119,7 +128,7 @@ class BatchQueryEngine:
     @classmethod
     def from_oracle(cls, oracle) -> "BatchQueryEngine":
         graph, labelling, highway = oracle._require_built()
-        return cls(graph, labelling, highway)
+        return cls(graph, labelling, highway, kernel=getattr(oracle, "kernel", None))
 
     # -- Offline phase: vectorized upper bounds ------------------------------
 
@@ -199,7 +208,16 @@ class BatchQueryEngine:
         # Distinct adjacent-or-better pairs: a bound of 1 is already the
         # minimum possible distance between distinct vertices.
         trivial = (bounds == 1.0) & ~same & ~landmark_pair
-        remaining = ~(same | landmark_pair | trivial)
+        # Provably disconnected pairs: an infinite bound with at least one
+        # non-empty label means no landmark pair connects the endpoints —
+        # different components, so the search cannot improve on inf. Only
+        # pairs where *both* labels are empty (both vertices in
+        # landmark-free components, where the sparsified graph is the true
+        # graph) still need the unbounded search.
+        counts = self._label_counts
+        both_empty = (counts[pairs[:, 0]] == 0) & (counts[pairs[:, 1]] == 0)
+        disconnected = np.isinf(bounds) & ~both_empty & ~same & ~landmark_pair
+        remaining = ~(same | landmark_pair | trivial | disconnected)
 
         if remaining.any():
             self._search_remaining(pairs, bounds, distances, remaining)
@@ -235,11 +253,13 @@ class BatchQueryEngine:
         u_src, u_dst, u_bound = src[first], dst[first], bounds[idx[first]]
         results = np.empty(len(u_src), dtype=float)
 
+        backend = resolve_kernel(self.kernel)
+        workspace = get_workspace(self.graph.num_vertices)
         shallow = u_bound <= self.max_stacked_expansions + 2
         if shallow.any():
             sel = np.flatnonzero(shallow)
             results[sel] = self._stacked_shallow(
-                u_src[sel], u_dst[sel], u_bound[sel]
+                u_src[sel], u_dst[sel], u_bound[sel], backend, workspace
             )
         if not shallow.all():
             sel = np.flatnonzero(~shallow)
@@ -250,11 +270,18 @@ class BatchQueryEngine:
                     int(u_dst[i]),
                     u_bound[i],
                     excluded=self.landmark_mask,
+                    kernel=backend,
+                    workspace=workspace,
                 )
         distances[idx] = results[inverse]
 
     def _stacked_shallow(
-        self, u_src: np.ndarray, u_dst: np.ndarray, u_bound: np.ndarray
+        self,
+        u_src: np.ndarray,
+        u_dst: np.ndarray,
+        u_bound: np.ndarray,
+        backend: KernelBackend,
+        workspace,
     ) -> np.ndarray:
         """Group sorted unique pairs by source and run the stacked BFS."""
         # The pairs arrive sorted by (src, dst), so equal sources are
@@ -269,6 +296,8 @@ class BatchQueryEngine:
             target_group,
             u_bound,
             excluded=self.landmark_mask,
+            kernel=backend,
+            workspace=workspace,
         )
 
     def coverage_ratio(self, pairs: np.ndarray) -> float:

@@ -7,60 +7,49 @@ Equation 4 of the paper:
 
 Lemma 5.1 observes that for a landmark ``r`` present in *both* labels the
 two-hop term ``δL(r, s) + δL(r, t)`` already dominates every detour via a
-second landmark, so common landmarks can skip the highway matrix. The
-implementation exploits this: common landmarks are intersected with a
-sorted merge, and the full cross-product minimization only runs over the
-small label arrays (labels average ~10 entries, so the cross product is a
-tiny dense numpy expression).
+second landmark, so common landmarks can skip the highway matrix. (In the
+cross product the same term appears as ``d_s + δH(r, r) + d_t`` with a
+zero diagonal, which is how the compiled kernels cover it in one pass.)
+
+The computation itself lives in the kernel layer
+(:mod:`repro.core.kernels`); this module is the validating wrapper that
+canonicalizes the labelling (:func:`~repro.core.kernels.get_label_state`)
+and dispatches to the selected backend.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.highway import Highway
+from repro.core.kernels import KernelBackend, get_label_state, resolve_kernel
 from repro.core.labels import LabelStore
 
 
 def upper_bound_distance(
-    labelling: LabelStore, highway: Highway, s: int, t: int
+    labelling: LabelStore,
+    highway: Highway,
+    s: int,
+    t: int,
+    kernel: Optional[Union[KernelBackend, str]] = None,
 ) -> float:
     """Compute ``d⊤(s, t)`` for two non-landmark vertices.
 
     Returns ``inf`` when the labels cannot connect the pair through any
     landmark (e.g. different components or an empty landmark set).
+
+    Args:
+        kernel: kernel backend (instance or name) computing the cross
+            product; ``None`` uses the process default
+            (:func:`repro.core.kernels.get_kernel`).
     """
-    ls_idx, ls_dist = labelling.label_arrays(s)
-    lt_idx, lt_dist = labelling.label_arrays(t)
-    if len(ls_idx) == 0 or len(lt_idx) == 0:
+    backend = resolve_kernel(kernel)
+    state = get_label_state(labelling, highway)
+    if state.count(s) == 0 or state.count(t) == 0:
         return float("inf")
-
-    best = _common_landmark_bound(ls_idx, ls_dist, lt_idx, lt_dist)
-
-    # Cross terms through the highway (Equation 4). Lemma 5.1 guarantees
-    # pairs sharing a landmark never improve on the common-landmark term,
-    # but distinct-landmark pairs still can, so evaluate the full cross
-    # product — it is a (|L(s)| x |L(t)|) dense expression.
-    matrix = highway.matrix
-    cross = ls_dist[:, None] + matrix[np.ix_(ls_idx, lt_idx)] + lt_dist[None, :]
-    cross_best = float(cross.min())
-    return min(best, cross_best)
-
-
-def _common_landmark_bound(
-    ls_idx: np.ndarray, ls_dist: np.ndarray, lt_idx: np.ndarray, lt_dist: np.ndarray
-) -> float:
-    """min over landmarks in both labels of ``δL(r,s) + δL(r,t)`` (Lemma 5.1)."""
-    common, s_pos, t_pos = np.intersect1d(
-        ls_idx, lt_idx, assume_unique=True, return_indices=True
-    )
-    if common.size == 0:
-        return float("inf")
-    # Promote before summing: mmap-backed stores hand out u8 distance
-    # views, and two sub-256 legs can sum past the u8 range.
-    return float((ls_dist[s_pos].astype(np.int64) + lt_dist[t_pos]).min())
+    return backend.upper_bound(state, s, t)
 
 
 def upper_bound_with_witness(

@@ -1,0 +1,157 @@
+"""The JIT backends: ``numba`` (compiled) and ``pyloop`` (its twin).
+
+Both run the scalar algorithms of :mod:`repro.core.kernels.loops` — the
+``numba`` backend through ``numba.njit(nogil=True)`` dispatchers, the
+``pyloop`` backend as plain interpreted Python. ``pyloop`` is hidden
+from auto-detection (it is far slower than the numpy reference); it
+exists so the exact code numba compiles stays testable byte-for-byte on
+machines without numba installed.
+
+numba is optional everywhere: when the import fails, :data:`HAVE_NUMBA`
+is False, auto-detection skips the backend, and an explicit
+``kernel="numba"`` raises
+:class:`~repro.errors.KernelUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.kernels import loops
+from repro.core.kernels.interface import KernelBackend, LabelState, Workspace
+from repro.errors import KernelUnavailableError
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+#: Stand-in passed to the loop kernels when no vertices are excluded
+#: (keeps the argument type stable for numba's dispatcher).
+_NO_MASK = np.zeros(1, dtype=bool)
+
+
+class _LoopKernelBase(KernelBackend):
+    """Shared glue turning the scalar loop functions into a backend.
+
+    Subclasses populate ``_decode`` / ``_upper_bound`` / ``_bounded`` /
+    ``_multi_target`` with either the plain functions or their njit'ed
+    dispatchers.
+    """
+
+    def decode(self, state: LabelState, r_index: int, vertex: int) -> float:
+        ids, dists = state.slices(vertex)
+        return float(self._decode(state.matrix[r_index], ids, dists))
+
+    def upper_bound(self, state: LabelState, s: int, t: int) -> float:
+        s_ids, s_dists = state.slices(s)
+        t_ids, t_dists = state.slices(t)
+        return float(
+            self._upper_bound(s_ids, s_dists, t_ids, t_dists, state.matrix)
+        )
+
+    def bounded_distance(
+        self,
+        csr,
+        source: int,
+        target: int,
+        bound: float,
+        excluded: Optional[np.ndarray],
+        workspace: Workspace,
+    ) -> float:
+        return float(
+            self._bounded(
+                csr.indptr,
+                csr.indices,
+                int(source),
+                int(target),
+                float(bound),
+                _NO_MASK if excluded is None else excluded,
+                excluded is not None,
+                workspace.side,
+                workspace.queue_a,
+                workspace.queue_b,
+            )
+        )
+
+    def multi_target(
+        self,
+        csr,
+        n: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        target_group: np.ndarray,
+        bounds: np.ndarray,
+        excluded: Optional[np.ndarray],
+        workspace: Workspace,
+        cells_budget: int = 1 << 26,
+    ) -> np.ndarray:
+        # Sort targets by (group, vertex): the kernel settles a visit by
+        # binary search within its group's contiguous slice.
+        order = np.lexsort((targets, target_group))
+        t_vertex = np.ascontiguousarray(targets[order], dtype=np.int64)
+        t_bound = np.ascontiguousarray(bounds[order], dtype=np.float64)
+        num_groups = len(sources)
+        gstart = np.searchsorted(
+            target_group[order], np.arange(num_groups + 1, dtype=np.int64)
+        ).astype(np.int64)
+        out_sorted = t_bound.copy()
+        self._multi_target(
+            csr.indptr,
+            csr.indices,
+            int(n),
+            np.ascontiguousarray(sources, dtype=np.int64),
+            gstart,
+            t_vertex,
+            t_bound,
+            out_sorted,
+            _NO_MASK if excluded is None else excluded,
+            excluded is not None,
+            workspace.levels,
+            workspace.queue_a,
+        )
+        out = np.empty(len(targets), dtype=float)
+        out[order] = out_sorted
+        return out
+
+
+class PyLoopKernel(_LoopKernelBase):
+    """The scalar algorithms interpreted — the numba backend minus numba."""
+
+    name = "pyloop"
+    compiled = False
+    releases_gil = False
+
+    _decode = staticmethod(loops.decode_row)
+    _upper_bound = staticmethod(loops.upper_bound_cross)
+    _bounded = staticmethod(loops.bounded_bfs)
+    _multi_target = staticmethod(loops.multi_target_bfs)
+
+
+class NumbaKernel(_LoopKernelBase):  # pragma: no cover - needs numba installed
+    """The scalar algorithms under ``numba.njit(nogil=True)``.
+
+    Dispatchers are created at construction (compilation itself happens
+    on the first call of each signature). ``nogil=True`` makes every
+    search kernel drop the GIL while running.
+    """
+
+    name = "numba"
+    compiled = True
+    releases_gil = True
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise KernelUnavailableError(
+                "numba kernel backend requested but numba is not installed"
+            )
+        jit = numba.njit(cache=False, nogil=True)
+        self._decode = jit(loops.decode_row)
+        self._upper_bound = jit(loops.upper_bound_cross)
+        self._bounded = jit(loops.bounded_bfs)
+        self._multi_target = jit(loops.multi_target_bfs)

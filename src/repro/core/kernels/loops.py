@@ -1,0 +1,207 @@
+"""Scalar loop kernels: the algorithms the JIT backends compile.
+
+Plain-Python, numba-``njit``-able functions mirroring the C kernels of
+:mod:`repro.core.kernels.cext` line for line. They serve two backends:
+
+* ``pyloop`` runs them as-is (slow — it exists so the *algorithm* the
+  JIT compiles is testable byte-for-byte on machines without numba);
+* ``numba`` wraps each in ``numba.njit(nogil=True, cache=False)``.
+
+All functions operate on canonical arrays (int64 ids/offsets, float64
+distances/matrix, int64 ``indptr``, int32 ``indices``) and scalar Python
+numbers, use no numpy API beyond indexing, and touch workspace buffers
+(``side``, queues, ``levels``) under the reset-what-you-marked contract
+of :class:`repro.core.kernels.interface.Workspace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+INF = float(np.inf)
+
+
+def decode_row(row, ids, dists):
+    """min over label entries of ``row[id] + dist`` (landmark-to-vertex)."""
+    best = INF
+    for i in range(ids.shape[0]):
+        value = row[ids[i]] + dists[i]
+        if value < best:
+            best = value
+    return best
+
+
+def upper_bound_cross(s_ids, s_dists, t_ids, t_dists, matrix):
+    """Equation 4's full cross-product minimum.
+
+    The common-landmark term of Lemma 5.1 needs no separate pass: a
+    shared landmark ``r`` contributes ``d_s + δH(r, r) + d_t`` with a
+    zero diagonal, which *is* the two-hop term.
+    """
+    best = INF
+    for i in range(s_ids.shape[0]):
+        ds = s_dists[i]
+        row = matrix[s_ids[i]]
+        for j in range(t_ids.shape[0]):
+            value = ds + row[t_ids[j]] + t_dists[j]
+            if value < best:
+                best = value
+    return best
+
+
+def bounded_bfs(
+    indptr,
+    indices,
+    source,
+    target,
+    bound,
+    excluded,
+    has_excluded,
+    side,
+    queue_s,
+    queue_t,
+):
+    """Algorithm 2: bounded bidirectional BFS over ``G[V \\ R]``.
+
+    Exactly the reference semantics of the numpy backend: alternate by
+    total visited counts, stop on meet (``depth_s + depth_t`` after the
+    increment) or when the depths reach ``bound``; an exhausted side
+    leaves the bound (possibly inf) as the answer. ``side`` entries are
+    reset via the queues before returning — both queues hold every
+    vertex this search marked.
+    """
+    side[source] = 1
+    side[target] = 2
+    queue_s[0] = source
+    queue_t[0] = target
+    s_lo, s_hi, s_tail = 0, 1, 1
+    t_lo, t_hi, t_tail = 0, 1, 1
+    visited_s, visited_t = 1, 1
+    depth_s, depth_t = 0, 0
+    result = bound
+    done = False
+
+    while not done and s_hi > s_lo and t_hi > t_lo:
+        expand_s = visited_s <= visited_t
+        if expand_s:
+            queue, lo, hi = queue_s, s_lo, s_hi
+            own, other = 1, 2
+        else:
+            queue, lo, hi = queue_t, t_lo, t_hi
+            own, other = 2, 1
+        tail = hi
+        met = False
+        i = lo
+        while i < hi and not met:
+            v = queue[i]
+            for e in range(indptr[v], indptr[v + 1]):
+                w = indices[e]
+                if has_excluded and excluded[w]:
+                    continue
+                mark = side[w]
+                if mark == other:
+                    met = True
+                    break
+                if mark == 0:
+                    side[w] = own
+                    queue[tail] = w
+                    tail += 1
+            i += 1
+        if expand_s:
+            depth_s += 1
+            visited_s += tail - hi
+            s_lo, s_hi, s_tail = hi, tail, tail
+        else:
+            depth_t += 1
+            visited_t += tail - hi
+            t_lo, t_hi, t_tail = hi, tail, tail
+        if met:
+            result = float(depth_s + depth_t)
+            done = True
+        elif depth_s + depth_t >= bound:
+            result = bound
+            done = True
+
+    for i in range(s_tail):
+        side[queue_s[i]] = 0
+    for i in range(t_tail):
+        side[queue_t[i]] = 0
+    return result
+
+
+def multi_target_bfs(
+    indptr,
+    indices,
+    n,
+    sources,
+    gstart,
+    t_vertex,
+    t_bound,
+    out,
+    excluded,
+    has_excluded,
+    levels,
+    queue,
+):
+    """Grouped bounded BFS: one level-synchronous wave per source group.
+
+    ``t_vertex`` is sorted within each group's ``gstart`` slice, so a
+    freshly visited vertex settles its query by binary search. The wave
+    stops at the group's deepest useful level (``max(bound) - 1``; an
+    infinite bound caps at ``n``), when the frontier dies, or when every
+    target of the group has been seen. Unreached targets keep their
+    bound — exactly ``min(d_sparse, bound)``, since a target missed
+    within the level cap has ``d_sparse >= bound``.
+    """
+    for g in range(sources.shape[0]):
+        t0, t1 = gstart[g], gstart[g + 1]
+        if t1 == t0:
+            continue
+        gmax = 0.0
+        for p in range(t0, t1):
+            cap = float(n) if t_bound[p] == INF else t_bound[p] - 1.0
+            if cap > gmax:
+                gmax = cap
+        if gmax < 1.0:
+            continue
+        if gmax > float(n):
+            gmax = float(n)
+        max_level = int(gmax)
+
+        src = sources[g]
+        levels[src] = 0
+        queue[0] = src
+        lo, hi, tail = 0, 1, 1
+        found = 0
+        total = t1 - t0
+        level = 1
+        while level <= max_level and hi > lo and found < total:
+            for i in range(lo, hi):
+                v = queue[i]
+                for e in range(indptr[v], indptr[v + 1]):
+                    w = indices[e]
+                    if has_excluded and excluded[w]:
+                        continue
+                    if levels[w] != -1:
+                        continue
+                    levels[w] = level
+                    queue[tail] = w
+                    tail += 1
+                    # Binary search w in the group's sorted target slice.
+                    a, b = t0, t1
+                    while a < b:
+                        mid = (a + b) // 2
+                        if t_vertex[mid] < w:
+                            a = mid + 1
+                        else:
+                            b = mid
+                    if a < t1 and t_vertex[a] == w:
+                        found += 1
+                        if float(level) < out[a]:
+                            out[a] = float(level)
+            lo, hi = hi, tail
+            level += 1
+
+        for i in range(tail):
+            levels[queue[i]] = -1
+    return out

@@ -1,0 +1,299 @@
+"""The ``numpy`` reference backend: the library's original vectorized loops.
+
+This is the code that previously lived inline in ``core/bounds.py`` and
+``search/bounded.py``, moved behind the :class:`KernelBackend` interface
+verbatim (modulo the reusable ``side`` workspace replacing the per-call
+allocation). It runs everywhere numpy does and is the conformance
+reference every compiled backend is asserted byte-identical against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.kernels.interface import KernelBackend, LabelState, Workspace
+from repro.graphs.csr import frontier_neighbors
+
+
+class NumpyKernel(KernelBackend):
+    """Vectorized numpy implementation (the reference semantics)."""
+
+    name = "numpy"
+    compiled = False
+    releases_gil = False
+
+    def decode(self, state: LabelState, r_index: int, vertex: int) -> float:
+        idx, dist = state.slices(vertex)
+        row = state.matrix[r_index]
+        return float((row[idx] + dist).min())
+
+    def upper_bound(self, state: LabelState, s: int, t: int) -> float:
+        ls_idx, ls_dist = state.slices(s)
+        lt_idx, lt_dist = state.slices(t)
+        best = _common_landmark_bound(ls_idx, ls_dist, lt_idx, lt_dist)
+        # Cross terms through the highway (Equation 4). Lemma 5.1
+        # guarantees pairs sharing a landmark never improve on the
+        # common-landmark term, but distinct-landmark pairs still can, so
+        # evaluate the full cross product — it is a (|L(s)| x |L(t)|)
+        # dense expression.
+        matrix = state.matrix
+        cross = (
+            ls_dist[:, None] + matrix[np.ix_(ls_idx, lt_idx)] + lt_dist[None, :]
+        )
+        return min(best, float(cross.min()))
+
+    def bounded_distance(
+        self,
+        csr,
+        source: int,
+        target: int,
+        bound: float,
+        excluded: Optional[np.ndarray],
+        workspace: Workspace,
+    ) -> float:
+        side = workspace.side
+        # Touched-vertex log: the workspace contract is "side all-zero
+        # between calls", and resetting only what this search marked is
+        # O(visited), not O(n).
+        touched = [
+            np.asarray([source], dtype=np.int64),
+            np.asarray([target], dtype=np.int64),
+        ]
+        side[source], side[target] = 1, 2
+        try:
+            frontier_s, frontier_t = touched[0], touched[1]
+            visited_s, visited_t = 1, 1  # |Ps|, |Pt| in Algorithm 2
+            depth_s = depth_t = 0
+            while frontier_s.size and frontier_t.size:
+                if visited_s <= visited_t:
+                    frontier_s, met, grown = _expand(
+                        csr, frontier_s, side, 1, 2, excluded
+                    )
+                    depth_s += 1
+                    visited_s += grown
+                    if grown:
+                        touched.append(frontier_s)
+                else:
+                    frontier_t, met, grown = _expand(
+                        csr, frontier_t, side, 2, 1, excluded
+                    )
+                    depth_t += 1
+                    visited_t += grown
+                    if grown:
+                        touched.append(frontier_t)
+                if met:
+                    # ds + 1 + dt with the increment already applied above.
+                    return float(depth_s + depth_t)
+                if depth_s + depth_t >= bound:
+                    return float(bound)
+            # One side exhausted: s and t are disconnected in G[V \ R];
+            # the bound (possibly inf) is the only remaining candidate.
+            return float(bound) if not math.isinf(bound) else float("inf")
+        finally:
+            for marked in touched:
+                side[marked] = 0
+
+    def multi_target(
+        self,
+        csr,
+        n: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        target_group: np.ndarray,
+        bounds: np.ndarray,
+        excluded: Optional[np.ndarray],
+        workspace: Workspace,
+        cells_budget: int = 1 << 26,
+    ) -> np.ndarray:
+        out = np.asarray(bounds, dtype=float).copy()
+        num_groups = len(sources)
+        chunk = max(1, cells_budget // max(1, n))
+        for chunk_start in range(0, num_groups, chunk):
+            chunk_end = min(chunk_start + chunk, num_groups)
+            in_chunk = (target_group >= chunk_start) & (target_group < chunk_end)
+            sel = np.flatnonzero(in_chunk)
+            if sel.size:
+                out[sel] = _stacked_search_chunk(
+                    csr,
+                    n,
+                    sources[chunk_start:chunk_end],
+                    targets[sel],
+                    target_group[sel] - chunk_start,
+                    out[sel],
+                    excluded,
+                )
+        return out
+
+
+def _common_landmark_bound(
+    ls_idx: np.ndarray, ls_dist: np.ndarray, lt_idx: np.ndarray, lt_dist: np.ndarray
+) -> float:
+    """min over landmarks in both labels of ``δL(r,s) + δL(r,t)`` (Lemma 5.1)."""
+    common, s_pos, t_pos = np.intersect1d(
+        ls_idx, lt_idx, assume_unique=True, return_indices=True
+    )
+    if common.size == 0:
+        return float("inf")
+    return float((ls_dist[s_pos] + lt_dist[t_pos]).min())
+
+
+def _expand(csr, frontier, side, own, other, excluded):
+    """Advance one wave by a level.
+
+    Returns ``(new_frontier, met_other_side, vertices_added)``.
+    """
+    neighbors = frontier_neighbors(csr, frontier)
+    if excluded is not None and neighbors.size:
+        neighbors = neighbors[~excluded[neighbors]]
+    if neighbors.size == 0:
+        return np.empty(0, dtype=np.int64), False, 0
+    if (side[neighbors] == other).any():
+        return frontier, True, 0
+    fresh = neighbors[side[neighbors] == 0]
+    if fresh.size == 0:
+        return np.empty(0, dtype=np.int64), False, 0
+    new_frontier = np.unique(fresh).astype(np.int64)
+    side[new_frontier] = own
+    return new_frontier, False, int(new_frontier.size)
+
+
+def _stacked_search_chunk(
+    csr,
+    n: int,
+    sources: np.ndarray,
+    t_vertex: np.ndarray,
+    t_group: np.ndarray,
+    t_bound: np.ndarray,
+    excluded: Optional[np.ndarray],
+) -> np.ndarray:
+    """Advance one chunk of groups in lock step; see the caller for terms.
+
+    Two pruning rules keep the stacked wave small:
+
+    * **Last-level inversion.** A target whose bound is ``level + 2`` can
+      only improve by being reached at ``level + 1`` — and that happens
+      iff the (unvisited) target has a neighbor in the current wave. So
+      instead of expanding the wave one more (exponentially large) level,
+      the target's own O(degree) neighborhood is checked against the
+      visited bitmap. Since BFS waves grow with depth, this removes the
+      single most expensive level of every group's search.
+    * **Group retirement.** After the check, a group keeps expanding only
+      while some unsettled target's bound exceeds ``level + 2``; retired
+      groups' frontier entries are dropped wholesale.
+    """
+    indptr, indices = csr.indptr, csr.indices
+    num_groups = len(sources)
+    result = t_bound.copy()
+    settled = np.zeros(t_vertex.size, dtype=bool)
+
+    # Sorted flat target keys enable hit detection by binary search.
+    t_key = t_group * n + t_vertex
+    t_order = np.argsort(t_key)
+    sorted_keys = t_key[t_order]
+
+    visited = np.zeros(num_groups * n, dtype=bool)
+    flags = np.zeros(num_groups * n, dtype=bool)
+    frontier_keys = np.arange(num_groups, dtype=np.int64) * n + sources
+    visited[frontier_keys] = True
+    level = 0
+    while frontier_keys.size:
+        # Last-level inversion: settle bound == level + 2 targets by
+        # scanning their own neighborhoods (an unvisited target with a
+        # visited neighbor is at distance exactly level + 1, because a
+        # neighbor visited earlier would have claimed it already).
+        check = np.flatnonzero(
+            ~settled & (t_bound > level + 1) & (t_bound <= level + 2)
+        )
+        if check.size:
+            check = check[~visited[t_group[check] * n + t_vertex[check]]]
+        if check.size:
+            reached = _targets_with_visited_neighbor(
+                indptr, indices, t_vertex[check], t_group[check] * n, visited
+            )
+            result[check[reached]] = float(level + 1)
+        settled[~settled & (t_bound <= level + 2)] = True
+
+        # A group profits from the wave only while some unsettled
+        # target's bound exceeds level + 2 (closer bounds are handled by
+        # the check above); drop retired groups' frontier entries.
+        if not (~settled).any():
+            break
+        group_active = np.zeros(num_groups, dtype=bool)
+        group_active[t_group[~settled]] = True
+        frontier_group = frontier_keys // n
+        keep = group_active[frontier_group]
+        if not keep.all():
+            frontier_keys = frontier_keys[keep]
+            frontier_group = frontier_group[keep]
+            if frontier_keys.size == 0:
+                break
+        level += 1
+
+        # Vectorized neighbor gather across every group's frontier.
+        frontier_vertex = frontier_keys - frontier_group * n
+        starts = indptr[frontier_vertex]
+        ends = indptr[frontier_vertex + 1]
+        counts = ends - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        cumulative = np.cumsum(counts)
+        gather = np.repeat(ends - cumulative, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        neighbor_vertex = indices[gather].astype(np.int64)
+        neighbor_group = np.repeat(frontier_group, counts)
+        if excluded is not None:
+            alive = ~excluded[neighbor_vertex]
+            neighbor_vertex = neighbor_vertex[alive]
+            neighbor_group = neighbor_group[alive]
+        neighbor_keys = neighbor_group * n + neighbor_vertex
+        neighbor_keys = neighbor_keys[~visited[neighbor_keys]]
+        if neighbor_keys.size == 0:
+            break
+        # Scatter-dedupe into the flags bitmap (cheaper than sorting).
+        flags[neighbor_keys] = True
+        frontier_keys = np.flatnonzero(flags)
+        flags[frontier_keys] = False
+        visited[frontier_keys] = True
+
+        # Which (group, target) queries were just reached?
+        pos = np.searchsorted(sorted_keys, frontier_keys)
+        pos[pos == sorted_keys.size] = 0
+        hit = sorted_keys[pos] == frontier_keys
+        hit_targets = t_order[pos[hit]]
+        if hit_targets.size:
+            result[hit_targets] = np.minimum(result[hit_targets], float(level))
+            settled[hit_targets] = True
+    return result
+
+
+def _targets_with_visited_neighbor(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    vertices: np.ndarray,
+    key_base: np.ndarray,
+    visited: np.ndarray,
+) -> np.ndarray:
+    """Positions in ``vertices`` having >= 1 visited neighbor (per group).
+
+    ``key_base[i] = group_i * n`` offsets vertex ids into the flat
+    per-group ``visited`` bitmap. Excluded vertices never enter
+    ``visited``, so no separate exclusion filter is needed.
+    """
+    starts = indptr[vertices]
+    ends = indptr[vertices + 1]
+    counts = ends - starts
+    total = int(counts.sum())
+    reached = np.zeros(len(vertices), dtype=bool)
+    if total == 0:
+        return np.flatnonzero(reached)
+    cumulative = np.cumsum(counts)
+    gather = np.repeat(ends - cumulative, counts) + np.arange(total, dtype=np.int64)
+    neighbor_keys = np.repeat(key_base, counts) + indices[gather]
+    owner = np.repeat(np.arange(len(vertices)), counts)
+    reached[owner[visited[neighbor_keys]]] = True
+    return np.flatnonzero(reached)

@@ -110,6 +110,11 @@ class LabelStore(ABC):
     # -- Equality (canonical form) --------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            # Identity shortcut: weakref-keyed caches compare keys through
+            # ``==`` on every lookup, and the array comparison below is an
+            # O(total labels) cost on the point-query hot path otherwise.
+            return True
         if not isinstance(other, LabelStore):
             return NotImplemented
         a, b = self.as_vertex_major(), other.as_vertex_major()

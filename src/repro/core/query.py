@@ -28,12 +28,17 @@ from repro.core.bounds import upper_bound_distance
 from repro.core.compression import LabelCodec, encoded_size_bytes
 from repro.core.construction import build_highway_cover_labelling
 from repro.core.highway import Highway
+from repro.core.kernels import (
+    KernelBackend,
+    get_label_state,
+    get_workspace,
+    resolve_kernel,
+)
 from repro.core.labels import LabelStore
 from repro.core.parallel import build_highway_cover_labelling_parallel
 from repro.errors import NotBuiltError
 from repro.graphs.graph import Graph
 from repro.landmarks.selection import select_landmarks
-from repro.search.bounded import bounded_bidirectional_distance
 
 
 class HighwayCoverOracle:
@@ -65,6 +70,11 @@ class HighwayCoverOracle:
             (mutable landmark-major runs, update-optimal; the dynamic
             oracle's default). ``None`` picks the class default. See
             :mod:`repro.core.labels`.
+        kernel: query kernel backend name (``"numpy"``, ``"numba"``,
+            ``"cext"``, ``"pyloop"``). ``None`` defers to the process
+            default (``REPRO_KERNEL`` or auto-detection); see
+            :mod:`repro.core.kernels`. All backends are byte-identical —
+            this is purely a performance switch.
 
     Example:
         >>> from repro.graphs import barabasi_albert_graph
@@ -97,6 +107,7 @@ class HighwayCoverOracle:
         engine: str = "stacked",
         chunk_size: Optional[int] = None,
         store: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.num_landmarks = num_landmarks
         self.landmark_strategy = landmark_strategy
@@ -109,6 +120,9 @@ class HighwayCoverOracle:
         self.store = store if store is not None else self.default_store
         if self.store not in ("vertex", "landmark"):
             raise ValueError(f"unknown label store backend {self.store!r}")
+        if kernel is not None:
+            resolve_kernel(kernel)  # fail fast on unknown/unavailable names
+        self.kernel = kernel
         self._explicit_landmarks = list(landmarks) if landmarks is not None else None
         self.graph: Optional[Graph] = None
         self.labelling: Optional[LabelStore] = None
@@ -174,10 +188,7 @@ class HighwayCoverOracle:
             return self._landmark_to_vertex(s, t)
         if t_is_landmark:
             return self._landmark_to_vertex(t, s)
-        bound = upper_bound_distance(labelling, highway, s, t)
-        return bounded_bidirectional_distance(
-            graph, s, t, bound, excluded=self._landmark_mask
-        )
+        return self._nonlandmark_pair(s, t)[1]
 
     def query_many(self, pairs, return_coverage: bool = False):
         """Exact distances for an ``(k, 2)`` array of pairs, vectorized.
@@ -225,26 +236,108 @@ class HighwayCoverOracle:
             return self._landmark_to_vertex(s, t)
         if self._landmark_mask[t]:
             return self._landmark_to_vertex(t, s)
-        return upper_bound_distance(labelling, highway, s, t)
+        return upper_bound_distance(labelling, highway, s, t, kernel=self.kernel)
 
     def is_covered(self, s: int, t: int) -> bool:
         """True iff the labels alone answer the pair exactly.
 
         "Covered" pairs (Figure 9) are those whose upper bound is realized
         by a shortest path through a landmark; we detect them as pairs
-        where the bounded search cannot improve on the bound.
+        where the bounded search cannot improve on the bound. The bound is
+        computed once and compared against the search result directly —
+        trivially-covered classes (same vertex, landmark pairs,
+        disconnected pairs) never search at all.
         """
-        return self.query(s, t) == self.upper_bound(s, t)
+        graph, _, _ = self._require_built()
+        graph.validate_vertex(s)
+        graph.validate_vertex(t)
+        if s == t:
+            return True
+        if self._landmark_mask[s] or self._landmark_mask[t]:
+            # Landmark-class answers *are* label lookups: bound == query.
+            return True
+        bound, dist = self._nonlandmark_pair(s, t)
+        return dist == bound
+
+    def _nonlandmark_pair(self, s: int, t: int) -> tuple:
+        """``(d⊤, dG)`` for two distinct non-landmark vertices.
+
+        The single place Equation 4 meets Algorithm 2. Short-circuits
+        before any search:
+
+        * one label empty, the other not — the empty side's vertex sits in
+          a landmark-free component, the other side can reach a landmark,
+          so the two are disconnected: ``(inf, inf)`` with no search;
+        * both labels non-empty but ``d⊤ = inf`` — every landmark pair
+          fails to connect them, which (labels being shortest-path exact)
+          means different components: ``(inf, inf)`` with no search;
+        * both labels empty — both vertices live in landmark-free
+          components where the sparsified graph *is* the true graph, so
+          one unbounded sparsified search decides the pair.
+        """
+        graph, labelling, highway = self._require_built()
+        backend = self.kernel_backend
+        state = get_label_state(labelling, highway)
+        empty_s = state.count(s) == 0
+        empty_t = state.count(t) == 0
+        if empty_s != empty_t:
+            return float("inf"), float("inf")
+        if empty_s:  # and empty_t
+            dist = backend.bounded_distance(
+                graph.csr,
+                int(s),
+                int(t),
+                float("inf"),
+                self._landmark_mask,
+                get_workspace(graph.num_vertices),
+            )
+            return float("inf"), dist
+        bound = backend.upper_bound(state, s, t)
+        if np.isinf(bound):
+            return bound, float("inf")
+        if bound == 1.0:
+            # A bound of 1 between distinct vertices is already optimal.
+            return 1.0, 1.0
+        dist = backend.bounded_distance(
+            graph.csr,
+            int(s),
+            int(t),
+            bound,
+            self._landmark_mask,
+            get_workspace(graph.num_vertices),
+        )
+        return bound, dist
+
+    @property
+    def kernel_backend(self) -> KernelBackend:
+        """The resolved :class:`~repro.core.kernels.KernelBackend`.
+
+        Resolved per access from :attr:`kernel` (a registry singleton
+        lookup), never stored — backends hold unpicklable handles and the
+        oracle must stay picklable for the multiprocessing tiers.
+        """
+        return resolve_kernel(self.kernel)
+
+    def set_kernel(self, kernel) -> None:
+        """Switch the query kernel backend (name, backend, or ``None``).
+
+        Validates eagerly — unknown names raise
+        :class:`~repro.errors.KernelError`, unavailable backends
+        :class:`~repro.errors.KernelUnavailableError` — and invalidates
+        the cached batch engine so it picks up the new backend.
+        """
+        backend = resolve_kernel(kernel)
+        self.kernel = backend.name if kernel is not None else None
+        self._batch_engine = None
 
     def _landmark_to_vertex(self, landmark: int, vertex: int) -> float:
         """Exact ``d(r, v)`` from ``L(v)`` + highway (docstring proof above)."""
         _, labelling, highway = self._require_built()
-        idx, dist = labelling.label_arrays(vertex)
-        if len(idx) == 0:
+        state = get_label_state(labelling, highway)
+        if state.count(vertex) == 0:
             return float("inf")
-        r_index = highway.index_of[int(landmark)]
-        row = highway.matrix[r_index]
-        return float((row[idx] + dist).min())
+        r_index = int(highway.index_of[int(landmark)])
+        return self.kernel_backend.decode(state, r_index, int(vertex))
 
     # -- Capability layers: snapshots and witness paths --------------------------
 

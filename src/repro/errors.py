@@ -70,6 +70,24 @@ class WalError(ReproError):
     """
 
 
+class KernelError(ReproError):
+    """Invalid kernel backend selection.
+
+    Raised for an unknown backend name — whether it arrived via the
+    ``kernel=`` keyword of :func:`repro.api.make_oracle` or the
+    ``REPRO_KERNEL`` environment variable.
+    """
+
+
+class KernelUnavailableError(KernelError):
+    """An explicitly requested kernel backend cannot run here.
+
+    For example ``kernel="numba"`` on a machine without numba installed.
+    Auto-detection (``kernel=None``) never raises this; it silently
+    falls back to the best available backend instead.
+    """
+
+
 class ConstructionBudgetExceeded(ReproError):
     """A labelling construction exceeded its time budget.
 

@@ -13,17 +13,33 @@ detected after completing levels ``ds`` and ``dt``, every s–t path in the
 sparsified graph has length at least ``ds + dt + 1``; so once
 ``ds + dt == d⊤st`` the sparsified distance cannot beat the bound and
 ``d⊤st`` is the answer.
+
+The frontier-expansion loops themselves live in the kernel layer
+(:mod:`repro.core.kernels`) so compiled backends can be swapped in; this
+module owns argument validation, the trivial short-circuits, and the
+reusable per-thread workspace, then dispatches to the selected backend.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
-from repro.graphs.csr import frontier_neighbors
 from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernels import KernelBackend, Workspace
+
+# The kernel registry lives under repro.core, which (through the oracle
+# modules) imports repro.graphs -> repro.search; import it lazily to keep
+# this low-level module free of the cycle.
+
+
+def _kernels():
+    from repro.core import kernels
+
+    return kernels
 
 
 def bounded_bidirectional_distance(
@@ -32,6 +48,8 @@ def bounded_bidirectional_distance(
     target: int,
     upper_bound: float,
     excluded: Optional[np.ndarray] = None,
+    kernel: Optional[Union[KernelBackend, str]] = None,
+    workspace: Optional[Workspace] = None,
 ) -> float:
     """Exact distance under an upper bound (Definition 4.1).
 
@@ -42,6 +60,10 @@ def bounded_bidirectional_distance(
             distance in ``G`` (``inf`` means unbounded search).
         excluded: boolean mask of removed vertices (the landmark set); the
             search never visits a masked vertex.
+        kernel: kernel backend (instance or name) running the search loop;
+            ``None`` uses the process default.
+        workspace: scratch buffers to search in; ``None`` borrows the
+            calling thread's cached :class:`Workspace`.
 
     Returns:
         ``min(d_{G[V\\R]}(s, t), d⊤st)`` — by Theorem 4.6 this equals
@@ -59,35 +81,13 @@ def bounded_bidirectional_distance(
         # A bound of 1 between distinct vertices is already optimal.
         return 1.0
 
-    n = graph.num_vertices
-    side = np.zeros(n, dtype=np.int8)
-    side[source], side[target] = 1, 2
-    frontier_s = np.asarray([source], dtype=np.int64)
-    frontier_t = np.asarray([target], dtype=np.int64)
-    visited_s, visited_t = 1, 1  # |Ps|, |Pt| in Algorithm 2
-    depth_s = depth_t = 0
-
-    while frontier_s.size and frontier_t.size:
-        if visited_s <= visited_t:
-            frontier_s, met, grown = _expand(
-                graph, frontier_s, side, own=1, other=2, excluded=excluded
-            )
-            depth_s += 1
-            visited_s += grown
-        else:
-            frontier_t, met, grown = _expand(
-                graph, frontier_t, side, own=2, other=1, excluded=excluded
-            )
-            depth_t += 1
-            visited_t += grown
-        if met:
-            # ds + 1 + dt with the increment already applied above.
-            return float(depth_s + depth_t)
-        if depth_s + depth_t >= upper_bound:
-            return float(upper_bound)
-    # One side exhausted: s and t are disconnected in G[V \ R]; the bound
-    # (possibly inf) is the only remaining candidate.
-    return float(upper_bound) if not math.isinf(upper_bound) else float("inf")
+    kernels = _kernels()
+    backend = kernels.resolve_kernel(kernel)
+    if workspace is None:
+        workspace = kernels.get_workspace(graph.num_vertices)
+    return backend.bounded_distance(
+        graph.csr, int(source), int(target), float(upper_bound), excluded, workspace
+    )
 
 
 def bounded_grouped_multi_target_distances(
@@ -98,17 +98,18 @@ def bounded_grouped_multi_target_distances(
     bounds: np.ndarray,
     excluded: Optional[np.ndarray] = None,
     cells_budget: int = 1 << 26,
+    kernel: Optional[Union[KernelBackend, str]] = None,
+    workspace: Optional[Workspace] = None,
 ) -> np.ndarray:
-    """Stacked bounded BFS: many source groups advanced in lock step.
+    """Stacked bounded BFS: many source groups advanced together.
 
     The batch engine groups query pairs by source vertex; this function
-    runs *all* groups' sparsified BFS waves simultaneously instead of one
-    Python-level loop per group: frontiers are stored as flat
-    ``group * n + vertex`` keys, so one vectorized pass per BFS *level*
-    expands every group at once. For large batches this collapses
-    thousands of per-group level loops into a handful of numpy passes —
-    the level loop executes ``max(bounds) - 1`` times in total, not per
-    group.
+    answers *all* groups' sparsified searches in one kernel call instead
+    of one Python-level search per group. The reference (``numpy``)
+    backend advances every group's wave in lock step with flat
+    ``group * n + vertex`` keys — a handful of vectorized passes per BFS
+    *level* in total, not per group; compiled backends run one tight BFS
+    per group instead.
 
     For each query the result is
     ``min(d_{G[V\\R]}(source, target), bound)`` — exactly what
@@ -125,8 +126,12 @@ def bounded_grouped_multi_target_distances(
         target_group: ``(T,)`` index into ``sources`` for each query.
         bounds: ``(T,)`` admissible upper bounds per query.
         excluded: boolean mask of removed vertices (the landmark set).
-        cells_budget: cap on the ``groups x n`` visited bitmap; group
-            chunks are sized so the bitmap never exceeds it.
+        cells_budget: cap on the ``groups x n`` visited bitmap used by the
+            numpy backend; group chunks are sized so it never exceeds it.
+        kernel: kernel backend (instance or name); ``None`` uses the
+            process default.
+        workspace: scratch buffers; ``None`` borrows the calling thread's
+            cached :class:`Workspace`.
 
     Returns:
         ``(T,)`` float array of exact distances, aligned with ``targets``.
@@ -134,9 +139,9 @@ def bounded_grouped_multi_target_distances(
     sources = np.asarray(sources, dtype=np.int64)
     targets = np.asarray(targets, dtype=np.int64)
     target_group = np.asarray(target_group, dtype=np.int64)
-    out = np.asarray(bounds, dtype=float).copy()
+    bounds = np.asarray(bounds, dtype=float)
     if targets.size == 0:
-        return out
+        return bounds.copy()
     n = graph.num_vertices
     for arr, what in ((sources, "source"), (targets, "target")):
         if arr.size and (arr.min() < 0 or arr.max() >= n):
@@ -146,178 +151,18 @@ def bounded_grouped_multi_target_distances(
     ):
         raise ValueError("bounded search endpoints must not be excluded vertices")
 
-    num_groups = len(sources)
-    chunk = max(1, cells_budget // max(1, n))
-    for chunk_start in range(0, num_groups, chunk):
-        chunk_end = min(chunk_start + chunk, num_groups)
-        in_chunk = (target_group >= chunk_start) & (target_group < chunk_end)
-        sel = np.flatnonzero(in_chunk)
-        if sel.size:
-            out[sel] = _stacked_search_chunk(
-                graph,
-                sources[chunk_start:chunk_end],
-                targets[sel],
-                target_group[sel] - chunk_start,
-                out[sel],
-                excluded,
-            )
-    return out
-
-
-def _stacked_search_chunk(
-    graph: Graph,
-    sources: np.ndarray,
-    t_vertex: np.ndarray,
-    t_group: np.ndarray,
-    t_bound: np.ndarray,
-    excluded: Optional[np.ndarray],
-) -> np.ndarray:
-    """Advance one chunk of groups in lock step; see the caller for terms.
-
-    Two pruning rules keep the stacked wave small:
-
-    * **Last-level inversion.** A target whose bound is ``level + 2`` can
-      only improve by being reached at ``level + 1`` — and that happens
-      iff the (unvisited) target has a neighbor in the current wave. So
-      instead of expanding the wave one more (exponentially large) level,
-      the target's own O(degree) neighborhood is checked against the
-      visited bitmap. Since BFS waves grow with depth, this removes the
-      single most expensive level of every group's search.
-    * **Group retirement.** After the check, a group keeps expanding only
-      while some unsettled target's bound exceeds ``level + 2``; retired
-      groups' frontier entries are dropped wholesale.
-    """
-    n = graph.num_vertices
-    indptr, indices = graph.csr.indptr, graph.csr.indices
-    num_groups = len(sources)
-    result = t_bound.copy()
-    settled = np.zeros(t_vertex.size, dtype=bool)
-
-    # Sorted flat target keys enable hit detection by binary search.
-    t_key = t_group * n + t_vertex
-    t_order = np.argsort(t_key)
-    sorted_keys = t_key[t_order]
-
-    visited = np.zeros(num_groups * n, dtype=bool)
-    flags = np.zeros(num_groups * n, dtype=bool)
-    frontier_keys = np.arange(num_groups, dtype=np.int64) * n + sources
-    visited[frontier_keys] = True
-    level = 0
-    while frontier_keys.size:
-        # Last-level inversion: settle bound == level + 2 targets by
-        # scanning their own neighborhoods (an unvisited target with a
-        # visited neighbor is at distance exactly level + 1, because a
-        # neighbor visited earlier would have claimed it already).
-        check = np.flatnonzero(
-            ~settled & (t_bound > level + 1) & (t_bound <= level + 2)
-        )
-        if check.size:
-            check = check[~visited[t_group[check] * n + t_vertex[check]]]
-        if check.size:
-            reached = _targets_with_visited_neighbor(
-                indptr, indices, t_vertex[check], t_group[check] * n, visited
-            )
-            result[check[reached]] = float(level + 1)
-        settled[~settled & (t_bound <= level + 2)] = True
-
-        # A group profits from the wave only while some unsettled
-        # target's bound exceeds level + 2 (closer bounds are handled by
-        # the check above); drop retired groups' frontier entries.
-        if not (~settled).any():
-            break
-        group_active = np.zeros(num_groups, dtype=bool)
-        group_active[t_group[~settled]] = True
-        frontier_group = frontier_keys // n
-        keep = group_active[frontier_group]
-        if not keep.all():
-            frontier_keys = frontier_keys[keep]
-            frontier_group = frontier_group[keep]
-            if frontier_keys.size == 0:
-                break
-        level += 1
-
-        # Vectorized neighbor gather across every group's frontier.
-        frontier_vertex = frontier_keys - frontier_group * n
-        starts = indptr[frontier_vertex]
-        ends = indptr[frontier_vertex + 1]
-        counts = ends - starts
-        total = int(counts.sum())
-        if total == 0:
-            break
-        cumulative = np.cumsum(counts)
-        gather = np.repeat(ends - cumulative, counts) + np.arange(
-            total, dtype=np.int64
-        )
-        neighbor_vertex = indices[gather].astype(np.int64)
-        neighbor_group = np.repeat(frontier_group, counts)
-        if excluded is not None:
-            alive = ~excluded[neighbor_vertex]
-            neighbor_vertex = neighbor_vertex[alive]
-            neighbor_group = neighbor_group[alive]
-        neighbor_keys = neighbor_group * n + neighbor_vertex
-        neighbor_keys = neighbor_keys[~visited[neighbor_keys]]
-        if neighbor_keys.size == 0:
-            break
-        # Scatter-dedupe into the flags bitmap (cheaper than sorting).
-        flags[neighbor_keys] = True
-        frontier_keys = np.flatnonzero(flags)
-        flags[frontier_keys] = False
-        visited[frontier_keys] = True
-
-        # Which (group, target) queries were just reached?
-        pos = np.searchsorted(sorted_keys, frontier_keys)
-        pos[pos == sorted_keys.size] = 0
-        hit = sorted_keys[pos] == frontier_keys
-        hit_targets = t_order[pos[hit]]
-        if hit_targets.size:
-            result[hit_targets] = np.minimum(result[hit_targets], float(level))
-            settled[hit_targets] = True
-    return result
-
-
-def _targets_with_visited_neighbor(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    vertices: np.ndarray,
-    key_base: np.ndarray,
-    visited: np.ndarray,
-) -> np.ndarray:
-    """Positions in ``vertices`` having >= 1 visited neighbor (per group).
-
-    ``key_base[i] = group_i * n`` offsets vertex ids into the flat
-    per-group ``visited`` bitmap. Excluded vertices never enter
-    ``visited``, so no separate exclusion filter is needed.
-    """
-    starts = indptr[vertices]
-    ends = indptr[vertices + 1]
-    counts = ends - starts
-    total = int(counts.sum())
-    reached = np.zeros(len(vertices), dtype=bool)
-    if total == 0:
-        return np.flatnonzero(reached)
-    cumulative = np.cumsum(counts)
-    gather = np.repeat(ends - cumulative, counts) + np.arange(total, dtype=np.int64)
-    neighbor_keys = np.repeat(key_base, counts) + indices[gather]
-    owner = np.repeat(np.arange(len(vertices)), counts)
-    reached[owner[visited[neighbor_keys]]] = True
-    return np.flatnonzero(reached)
-
-
-def _expand(graph, frontier, side, own, other, excluded):
-    """Advance one wave by a level.
-
-    Returns ``(new_frontier, met_other_side, vertices_added)``.
-    """
-    neighbors = frontier_neighbors(graph.csr, frontier)
-    if excluded is not None and neighbors.size:
-        neighbors = neighbors[~excluded[neighbors]]
-    if neighbors.size == 0:
-        return np.empty(0, dtype=np.int64), False, 0
-    if (side[neighbors] == other).any():
-        return frontier, True, 0
-    fresh = neighbors[side[neighbors] == 0]
-    if fresh.size == 0:
-        return np.empty(0, dtype=np.int64), False, 0
-    new_frontier = np.unique(fresh).astype(np.int64)
-    side[new_frontier] = own
-    return new_frontier, False, int(new_frontier.size)
+    kernels = _kernels()
+    backend = kernels.resolve_kernel(kernel)
+    if workspace is None:
+        workspace = kernels.get_workspace(n)
+    return backend.multi_target(
+        graph.csr,
+        n,
+        sources,
+        targets,
+        target_group,
+        bounds,
+        excluded,
+        workspace,
+        cells_budget=cells_budget,
+    )

@@ -455,7 +455,8 @@ class DistanceService:
         queries per micro-batch — >1 means coalescing is live),
         ``max_batch`` (largest batch seen), ``p50_ms`` / ``p99_ms``
         (coalesced-query latency percentiles over a sliding window),
-        ``version``.
+        ``version``, ``kernel`` (the oracle's requested query kernel
+        name, or ``None`` when it auto-detects / has no kernel seam).
         """
         if name is None:
             return {n: self.stats(n) for n in self.names()}
@@ -483,6 +484,7 @@ class DistanceService:
                 if latencies.size
                 else 0.0,
                 "version": entry.version,
+                "kernel": getattr(entry.oracle, "kernel", None),
             }
 
     # -- Lifecycle -------------------------------------------------------------

@@ -109,13 +109,17 @@ def route_of(s: int, t: int, shards: int) -> int:
 
 
 def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
-                 dynamic: bool) -> None:  # pragma: no cover - runs in child
+                 dynamic: bool,
+                 kernel: Optional[str] = None,
+                 ) -> None:  # pragma: no cover - runs in child
     """Entry point of one shard worker process.
 
     Opens the shared snapshot (zero-copy when ``use_mmap``), optionally
-    promotes to the dynamic oracle (``update_mode="repair"``), then
-    answers request tuples from the parent until told to stop. Replies
-    are ``("ok", payload)`` or ``("err", type_name, message)`` — never a
+    promotes to the dynamic oracle (``update_mode="repair"``), selects
+    the requested query kernel (``kernel`` travels as a name — backends
+    hold unpicklable handles and resolve per process), then answers
+    request tuples from the parent until told to stop. Replies are
+    ``("ok", payload)`` or ``("err", type_name, message)`` — never a
     pickled exception (library exceptions with multi-arg constructors
     do not survive pickling).
 
@@ -131,6 +135,8 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
             from repro.api.factory import _promote_dynamic
 
             oracle = _promote_dynamic(oracle)
+        if kernel is not None:
+            oracle.set_kernel(kernel)
     except BaseException as exc:  # noqa: BLE001 - forwarded to parent
         # Startup failed (unreadable snapshot, promotion error): answer
         # every request — the parent's fail-fast ping first — with the
@@ -174,6 +180,8 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
                     )
                     new_graph = getattr(oracle.graph, mutate)([(u, v)])
                     oracle = load_oracle(new_graph, new_path, mmap=use_mmap)
+                    if kernel is not None:
+                        oracle.set_kernel(kernel)
                     conn.send(("ok", None))
             elif tag == "ping":
                 conn.send(("ok", {"pid": os.getpid()}))
@@ -398,6 +406,10 @@ class ShardedDistanceService:
             the platform default.
         spool_dir: where snapshot generations are written; default is a
             private temporary directory removed on :meth:`close`.
+        kernel: query kernel backend name (:mod:`repro.core.kernels`)
+            every worker (and the parent's writer) selects; ``None``
+            lets each process auto-detect. Travels as a name — backends
+            are per-process singletons and never cross the pipe.
         wal: optional write-ahead-log path making the writer's updates
             crash-durable. Every ``insert_edge``/``delete_edge`` is
             logged (and fsynced, under the default policy) *before* the
@@ -443,6 +455,7 @@ class ShardedDistanceService:
         max_batch: int = 1024,
         start_method: Optional[str] = None,
         spool_dir=None,
+        kernel: Optional[str] = None,
         wal=None,
         wal_fsync: str = "always",
         **build_options,
@@ -469,10 +482,16 @@ class ShardedDistanceService:
                 f"constructor options {sorted(build_options)} are ignored "
                 f"when serving index={str(index)!r}; drop them"
             )
+        if kernel is not None:
+            from repro.core.kernels import resolve_kernel
+
+            # Fail fast in the parent; workers re-resolve by name.
+            resolve_kernel(kernel)
         self.shards = int(shards)
         self.method = spec.name
         self.update_mode = update_mode
         self.mmap = mmap
+        self.kernel = kernel
         self.max_batch = max_batch
         self.cache = QueryCache(cache_size)
         self._build_options = build_options
@@ -537,12 +556,14 @@ class ShardedDistanceService:
         try:
             if self._index is not None:
                 self._writer = load_oracle(graph, self._index, mmap=self.mmap)
+                if self.kernel is not None:
+                    self._writer.set_kernel(self.kernel)
                 self._snapshot_path = self._index
             else:
                 from repro.api.factory import make_oracle
 
                 self._writer = make_oracle(
-                    self.method, **self._build_options
+                    self.method, kernel=self.kernel, **self._build_options
                 ).build(graph)
                 self._snapshot_path = None
             if self._wal_path is not None:
@@ -605,6 +626,7 @@ class ShardedDistanceService:
                     str(self._snapshot_path),
                     self.mmap,
                     dynamic_workers,
+                    self.kernel,
                 ),
                 name=f"repro-shard-{index}",
                 daemon=True,
@@ -915,10 +937,11 @@ class ShardedDistanceService:
         ``batches`` (worker round trips on the point path),
         ``batch_occupancy`` (mean point queries per round trip),
         ``updates``, ``version``, ``snapshot`` (current generation
-        path), ``wal`` / ``wal_records`` (the attached write-ahead log
-        and its pending record count, or ``None``/0), ``per_shard``
-        (point queries routed to each worker) and ``cache`` (the
-        :meth:`QueryCache.stats` dict).
+        path), ``kernel`` (the requested query kernel name, or ``None``
+        for per-process auto-detection), ``wal`` / ``wal_records`` (the
+        attached write-ahead log and its pending record count, or
+        ``None``/0), ``per_shard`` (point queries routed to each
+        worker) and ``cache`` (the :meth:`QueryCache.stats` dict).
         """
         per_shard = []
         batches = 0
@@ -938,6 +961,7 @@ class ShardedDistanceService:
                 "updates": self._updates_total,
                 "version": self._version,
                 "snapshot": str(self._snapshot_path),
+                "kernel": self.kernel,
                 "wal": None if self._wal is None else str(self._wal.path),
                 "wal_records": 0 if self._wal is None else len(self._wal),
                 "per_shard": per_shard,

@@ -14,7 +14,11 @@ provides:
 * :func:`build_all_variants` — one labelling per builder variant;
 * :func:`assert_builders_agree` — byte-equality across all variants
   plus a ground-truth check that decoded label distances match
-  brute-force BFS.
+  brute-force BFS;
+* :func:`assert_kernels_agree` — the query-side twin: every available
+  kernel backend (:mod:`repro.core.kernels`) must answer point queries,
+  bounds, coverage, and batch queries byte-identically on the same
+  built oracle (``tests/test_kernels.py`` drives it over the grid).
 
 ``tests/test_construction_engine.py`` drives it over the full grid; any
 new builder variant should be added to :data:`BUILDER_VARIANTS` so it is
@@ -126,6 +130,78 @@ def assert_labelled_distances_exact(
         assert np.array_equal(
             labelling.distances[positions], truth[vertices]
         ), f"landmark {r} produced a wrong labelled distance"
+
+
+def sample_query_pairs(
+    graph: Graph, landmarks: Sequence[int], count: int = 64, seed: int = 9172
+) -> np.ndarray:
+    """A deterministic ``(count+3, 2)`` pair mix covering every vertex class.
+
+    Random pairs plus one same-vertex pair, one landmark-landmark pair,
+    and one landmark-vertex pair, so kernel comparisons exercise all the
+    query paths (including, on the disconnected harness graphs,
+    cross-component and isolated-vertex pairs).
+    """
+    rng = np.random.default_rng(seed)
+    pairs = rng.integers(0, graph.num_vertices, size=(count, 2), dtype=np.int64)
+    r0, r1 = int(landmarks[0]), int(landmarks[-1])
+    non_landmark = next(
+        v for v in range(graph.num_vertices) if v not in set(map(int, landmarks))
+    )
+    extras = np.array(
+        [[non_landmark, non_landmark], [r0, r1], [r0, non_landmark]],
+        dtype=np.int64,
+    )
+    return np.vstack([pairs, extras])
+
+
+def assert_kernels_agree(graph: Graph, landmarks: Sequence[int]) -> None:
+    """Every available kernel backend answers byte-identically.
+
+    Builds one oracle, then swaps backends with ``set_kernel`` and
+    compares point queries, upper bounds, coverage flags, and the batch
+    engine's answers (which must also match the scalar path within each
+    backend) against the first backend's results.
+    """
+    from repro.core.kernels import available_kernels
+    from repro.core.query import HighwayCoverOracle
+
+    oracle = HighwayCoverOracle(
+        num_landmarks=len(landmarks), landmarks=landmarks
+    ).build(graph)
+    pairs = sample_query_pairs(graph, landmarks)
+    reference = None
+    for name in available_kernels():
+        oracle.set_kernel(name)
+        point = np.array(
+            [oracle.query(int(s), int(t)) for s, t in pairs], dtype=float
+        )
+        bounds = np.array(
+            [oracle.upper_bound(int(s), int(t)) for s, t in pairs], dtype=float
+        )
+        covered = np.array(
+            [oracle.is_covered(int(s), int(t)) for s, t in pairs], dtype=bool
+        )
+        batch, batch_covered = oracle.query_many(pairs, return_coverage=True)
+        assert np.array_equal(point, batch), (
+            f"kernel {name!r}: query_many diverged from looped query"
+        )
+        assert np.array_equal(covered, batch_covered), (
+            f"kernel {name!r}: batch coverage diverged from is_covered"
+        )
+        if reference is None:
+            reference = (name, point, bounds, covered)
+            continue
+        ref_name, ref_point, ref_bounds, ref_covered = reference
+        assert np.array_equal(point, ref_point), (
+            f"kernel {name!r} distances diverged from {ref_name!r}"
+        )
+        assert np.array_equal(bounds, ref_bounds), (
+            f"kernel {name!r} bounds diverged from {ref_name!r}"
+        )
+        assert np.array_equal(covered, ref_covered), (
+            f"kernel {name!r} coverage diverged from {ref_name!r}"
+        )
 
 
 def assert_builders_agree(graph: Graph, landmarks: Sequence[int]) -> None:

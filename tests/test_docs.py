@@ -34,6 +34,9 @@ AUDITED_MODULES = [
     "src/repro/serving/service.py",
     "src/repro/serving/sharded.py",
     "src/repro/core/labels.py",
+    "src/repro/core/kernels/__init__.py",
+    "src/repro/core/kernels/interface.py",
+    "src/repro/core/kernels/loops.py",
     "src/repro/core/serialization.py",
     "src/repro/core/wal.py",
     "src/repro/core/fsck.py",
@@ -44,6 +47,7 @@ REQUIRED_DOCS = [
     "docs/paper_map.md",
     "docs/serving.md",
     "docs/durability.md",
+    "docs/kernels.md",
     "README.md",
 ]
 
