@@ -1,14 +1,25 @@
-"""Benchmark: micro-batched serving vs. naive per-query locking.
+"""Benchmark: micro-batched serving, and thread scaling on no-GIL kernels.
 
-The serving claim of PR 4 (ISSUE acceptance): hosting an HL oracle
-behind :class:`~repro.serving.DistanceService` — which coalesces
-concurrent point queries into vectorized ``query_many`` micro-batches —
-beats the obvious thread-safe alternative, a single mutex around
-``oracle.query``, by **>= 5x throughput at 16 threads**, while staying
-*byte-identical* to sequential ``oracle.query`` on a randomized
-workload.
+Two modes (see ``--help``):
 
-Four configurations over the same randomized pair workload:
+* **default** — the PR 4 serving claim: hosting an HL oracle behind
+  :class:`~repro.serving.DistanceService` — which coalesces concurrent
+  point queries into vectorized ``query_many`` micro-batches — beats
+  the obvious thread-safe alternative, a single mutex around
+  ``oracle.query``, by **>= 5x throughput at 16 threads**, while
+  staying *byte-identical* to sequential ``oracle.query`` on a
+  randomized workload.
+* **--thread-scaling** — the PR 8 claim: splitting one ``query_many``
+  batch across a :class:`~repro.serving.QueryExecutor` thread pool
+  scales with the thread count when (and only when) the kernel backend
+  releases the GIL. Records QPS vs thread count per available backend
+  into ``benchmarks/results/threading.txt``, asserts every cell
+  byte-identical to the sequential path unconditionally, and asserts
+  **>= 2x QPS at 4 threads over 1 thread** on a GIL-releasing compiled
+  backend on machines with >= 4 cores (recorded honestly, without the
+  bar, on smaller machines — a 1-core box cannot speed up).
+
+Default-mode configurations over the same randomized pair workload:
 
 1. **sequential** — one thread, looped ``oracle.query`` (the ground
    truth; every other configuration must match it exactly).
@@ -43,6 +54,7 @@ Results are recorded in ``benchmarks/results/serving.txt``.
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 import threading
@@ -53,9 +65,10 @@ import numpy as np
 from conftest import RESULTS_DIR, save_and_print
 
 from repro.api import build_oracle
+from repro.core.kernels import available_kernels, get_kernel
 from repro.graphs.generators import barabasi_albert_graph
 from repro.graphs.sampling import sample_vertex_pairs
-from repro.serving import DistanceService
+from repro.serving import DistanceService, QueryExecutor
 from repro.utils.formatting import format_table
 
 NUM_VERTICES = int(os.environ.get("REPRO_BENCH_SERVE_N", "2000"))
@@ -67,6 +80,12 @@ PIPELINE_WINDOW = 128
 #: Acceptance bar on the full workload (ISSUE 4): pipelined service vs
 #: naive per-query lock, both at NUM_THREADS client threads.
 FULL_WORKLOAD_SPEEDUP = 5.0
+#: Acceptance bar for --thread-scaling (ISSUE 8): 4-thread QPS over
+#: 1-thread QPS on a GIL-releasing compiled backend, enforced only on
+#: machines with >= 4 cores (threads cannot beat physics on fewer).
+THREAD_SCALING_SPEEDUP = 2.0
+#: Thread counts swept by --thread-scaling (smoke stops at 2).
+THREAD_COUNTS = (1, 2, 4)
 
 
 def _run_clients(target, count: int) -> float:
@@ -229,5 +248,135 @@ def main(smoke: bool = False) -> int:
     return 0
 
 
+def thread_scaling(smoke: bool = False) -> int:
+    """QPS vs executor thread count, per available kernel backend.
+
+    One shared oracle, one shared pair workload; for every backend that
+    can vectorize (``pyloop`` is a deliberately slow audit backend and
+    is skipped) and every thread count, the whole workload runs as one
+    ``query_many`` batch through a :class:`QueryExecutor`. Every cell is
+    asserted byte-identical to the 1-thread sequential answer; the >= 2x
+    bar applies to GIL-releasing compiled backends at 4 threads, and
+    only when the machine actually has >= 4 cores.
+    """
+    num_vertices = min(NUM_VERTICES, 1200) if smoke else NUM_VERTICES
+    num_pairs = min(NUM_PAIRS, 4000) if smoke else NUM_PAIRS
+    counts = [t for t in THREAD_COUNTS if not smoke or t <= 2]
+    cores = os.cpu_count() or 1
+
+    graph = barabasi_albert_graph(num_vertices, 3, seed=7, name="thread-bench")
+    oracle = build_oracle(graph, "hl", num_landmarks=NUM_LANDMARKS)
+    pairs = sample_vertex_pairs(graph, num_pairs, seed=1)
+    backends = [n for n in available_kernels() if n != "pyloop"]
+    print(
+        f"thread-scaling benchmark: n={graph.num_vertices:,}, "
+        f"m={graph.num_edges:,}, k={NUM_LANDMARKS}, {num_pairs:,} pairs, "
+        f"{cores} cores, backends={backends}, threads={counts}"
+    )
+
+    rows = []
+    failures = []
+    for name in backends:
+        backend = get_kernel(name)
+        oracle.set_kernel(name)
+        expected = oracle.query_many(pairs)  # ground truth for this backend
+        baseline_qps = None
+        for threads in counts:
+            with QueryExecutor(threads=threads, kernel=name) as executor:
+                executor.run(oracle.query_many, pairs)  # warm workspaces
+                t0 = time.perf_counter()
+                answer = executor.run(oracle.query_many, pairs)
+                wall = time.perf_counter() - t0
+            assert np.array_equal(answer, expected), (
+                f"{name} @ {threads} threads diverged from sequential"
+            )
+            qps = num_pairs / wall
+            if threads == 1:
+                baseline_qps = qps
+            scale = qps / baseline_qps
+            rows.append([
+                name,
+                "yes" if backend.releases_gil else "no",
+                threads,
+                f"{wall * 1e3:.1f}ms",
+                f"{qps:,.0f}",
+                f"{scale:.2f}x",
+            ])
+            bar_applies = (
+                not smoke
+                and threads >= 4
+                and cores >= 4
+                and backend.releases_gil
+                and backend.compiled
+            )
+            if bar_applies and scale < THREAD_SCALING_SPEEDUP:
+                failures.append(
+                    f"{name}: {scale:.2f}x at {threads} threads, below the "
+                    f"{THREAD_SCALING_SPEEDUP:.0f}x bar on a {cores}-core "
+                    f"machine"
+                )
+
+    rendered = format_table(
+        ["backend", "no-GIL", "threads", "wall", "QPS", "vs 1 thread"], rows
+    )
+    title = (
+        f"Thread scaling: QueryExecutor QPS vs thread count per kernel "
+        f"backend (n={graph.num_vertices:,}, {num_pairs:,} pairs, "
+        f"{cores} cores{', smoke' if smoke else ''})"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_and_print(RESULTS_DIR, "threading", title, rendered)
+    print(
+        f"exactness: every cell byte-identical to the sequential "
+        f"query_many on its backend ({len(rows)} cells)"
+    )
+    if cores < 4:
+        print(
+            f"note: {THREAD_SCALING_SPEEDUP:.0f}x@4-thread bar not "
+            f"enforced — machine has {cores} core(s); numbers recorded "
+            f"as measured"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Serving-tier benchmarks. Default mode records the "
+            "micro-batched DistanceService vs a naive per-query lock "
+            "(benchmarks/results/serving.txt). --thread-scaling records "
+            "QueryExecutor QPS vs thread count per kernel backend "
+            "(benchmarks/results/threading.txt), asserting every cell "
+            "byte-identical to sequential query_many and >= 2x QPS at 4 "
+            "threads on GIL-releasing compiled backends when the machine "
+            "has >= 4 cores."
+        )
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "small CI configuration: shrinks the workload, caps the "
+            "thread sweep at 2, and relaxes the speedup bars (exactness "
+            "is still asserted)"
+        ),
+    )
+    parser.add_argument(
+        "--thread-scaling",
+        action="store_true",
+        help=(
+            "run the thread-scaling mode instead of the serving "
+            "comparison: QPS vs executor thread count for every "
+            "available kernel backend except pyloop"
+        ),
+    )
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    raise SystemExit(main(smoke="--smoke" in sys.argv))
+    _args = _parse_args()
+    if _args.thread_scaling:
+        raise SystemExit(thread_scaling(smoke=_args.smoke))
+    raise SystemExit(main(smoke=_args.smoke))

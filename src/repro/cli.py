@@ -13,21 +13,27 @@ Commands:
   zero-copy instead of reading it into RAM, ``--kernel`` selects the
   query kernel backend (see ``kernels``).
 * ``query-batch <edgelist> <index> [--pairs-file F | --random N]
-  [--mmap] [--kernel K]`` — bulk exact distances through the vectorized
-  batch engine.
+  [--mmap] [--kernel K] [--threads T]`` — bulk exact distances through
+  the vectorized batch engine; ``--threads`` splits the batch across a
+  :class:`~repro.serving.QueryExecutor` thread pool (auto-sized by
+  default: one thread per CPU when the kernel releases the GIL).
 * ``bench-dataset <name>`` — build HL on one surrogate and report
   CT/ALS/size/coverage.
-* ``serve-bench [--threads 16] [--queries 2000] [--shards N]`` — drive
-  a :class:`~repro.serving.DistanceService` with a synthetic concurrent
+* ``serve-bench [--threads 16] [--queries 2000] [--shards N]
+  [--exec-threads M]`` — drive a
+  :class:`~repro.serving.DistanceService` with a synthetic concurrent
   workload, assert exactness against looped ``oracle.query``, and
   report QPS / batch occupancy / latency percentiles. ``--shards N``
   (N > 1) backs the hosted graph with the multi-process
   :class:`~repro.serving.ShardedDistanceService` instead of the
-  in-process oracle.
-* ``shard-bench [--shards 4] [--batches 16]`` — compare single-process
-  ``query_many`` against the process-sharded service on the same bulk
-  workload, assert byte-identical answers, and report per-config
-  throughput plus the cached-point-query rate.
+  in-process oracle; ``--exec-threads M`` sizes the per-entry (and
+  per-shard) executor thread pool (default: auto).
+* ``shard-bench [--shards 4] [--batches 16] [--threads M]`` — compare
+  single-process ``query_many`` against the process-sharded service on
+  the same bulk workload, assert byte-identical answers, and report
+  per-config throughput plus the cached-point-query rate.
+  ``--threads M`` runs every worker's batches on an M-thread executor
+  (N shards × M threads).
 * ``fsck <path> [<path> ...]`` — validate snapshot and write-ahead-log
   files offline: every format invariant (magic/version/flags, section
   alignment, offsets, id ranges, highway sentinel symmetry; WAL
@@ -37,8 +43,10 @@ Commands:
 * ``methods`` — list every registered oracle method with its
   capability set (the README matrix, live).
 * ``kernels`` — list the query kernel backends
-  (:mod:`repro.core.kernels`) with availability, compiled/GIL flags,
-  and which one this environment auto-selects.
+  (:mod:`repro.core.kernels`) with availability, a ``compiled`` and a
+  ``releases_gil`` column (the flag that decides whether the
+  thread-parallel executor auto-scales past one thread), and which
+  backend this environment auto-selects.
 * ``datasets`` — list the twelve surrogate networks.
 
 The CLI wraps the same public API the examples use — every oracle is
@@ -154,13 +162,20 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
             return 2
     else:
         pairs = sample_vertex_pairs(graph, args.random, seed=args.seed)
-    distances, covered = oracle.query_many(pairs, return_coverage=True)
+    from repro.serving.executor import QueryExecutor
+
+    with QueryExecutor.for_oracle(oracle, threads=args.threads) as executor:
+        distances, covered = executor.run(
+            lambda chunk: oracle.query_many(chunk, return_coverage=True),
+            pairs,
+        )
     for (s, t), d in zip(pairs, distances):
         rendered = "inf" if d == float("inf") else f"{d:.0f}"
         print(f"{int(s)} {int(t)} {rendered}")
     coverage = float(covered.mean()) if len(pairs) else 0.0
     print(
-        f"# pairs={len(pairs)} coverage={coverage:.3f}",
+        f"# pairs={len(pairs)} coverage={coverage:.3f} "
+        f"threads={executor.threads}",
         file=sys.stderr,
     )
     return 0
@@ -229,14 +244,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         snapshot = f"{tmpdir.name}/bench.hl"
         oracle.save(snapshot)
         sharded = ShardedDistanceService.from_snapshot(
-            graph, snapshot, shards=args.shards, kernel=args.kernel
+            graph, snapshot, shards=args.shards, kernel=args.kernel,
+            threads=args.exec_threads,
         )
 
     results = np.full(len(pairs), np.nan, dtype=float)
     errors: List[BaseException] = []
     try:
         with DistanceService(
-            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            # With a sharded backend the executor pools live in the
+            # worker processes (threads= above); the facade entry stays
+            # sequential rather than threading over IPC-bound calls.
+            threads=None if sharded is not None else args.exec_threads,
         ) as service:
             service.register("bench", sharded if sharded is not None else oracle)
 
@@ -336,7 +357,8 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     snapshot = f"{tmpdir.name}/bench.hl"
     oracle.save(snapshot)
     with ShardedDistanceService.from_snapshot(
-        graph, snapshot, shards=args.shards, kernel=args.kernel
+        graph, snapshot, shards=args.shards, kernel=args.kernel,
+        threads=args.threads,
     ) as svc:
         t0 = time.perf_counter()
         sharded = np.concatenate([svc.query_many(b) for b in batches])
@@ -462,7 +484,11 @@ def _cmd_kernels(_: argparse.Namespace) -> int:
         rows.append(
             [name, compiled, nogil, "x" if name == default else "-", status]
         )
-    print(format_table(["kernel", "compiled", "no-GIL", "default", "status"], rows))
+    print(
+        format_table(
+            ["kernel", "compiled", "releases_gil", "default", "status"], rows
+        )
+    )
     return 0
 
 
@@ -564,6 +590,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="map the v2 index zero-copy instead of reading it into RAM",
     )
     _add_kernel_option(p_batch)
+    p_batch.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="T",
+        help="executor threads the batch is split across (default: auto — "
+        "one per CPU when the kernel releases the GIL, else sequential)",
+    )
     p_batch.set_defaults(func=_cmd_query_batch)
 
     p_bench = sub.add_parser("bench-dataset", help="profile HL on a surrogate")
@@ -598,6 +632,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="back the graph with N worker processes (1 = in-process oracle)",
     )
+    p_serve.add_argument(
+        "--exec-threads",
+        type=int,
+        default=None,
+        metavar="M",
+        help="executor thread-pool size per entry (or per shard worker "
+        "with --shards > 1); default: auto from the kernel's "
+        "releases_gil flag",
+    )
     _add_kernel_option(p_serve)
     p_serve.set_defaults(func=_cmd_serve_bench)
 
@@ -621,6 +664,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", type=int, default=16, help="bulk calls the workload is split into"
     )
     p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        metavar="M",
+        help="executor threads per shard worker (N shards x M threads; "
+        "default: auto from the kernel's releases_gil flag)",
+    )
     _add_kernel_option(p_shard)
     p_shard.set_defaults(func=_cmd_shard_bench)
 

@@ -12,10 +12,23 @@ Two cooperating layers (see ``docs/serving.md`` for the full design):
   hash-routed, bulk batches scatter/gather in order, and dynamic
   updates broadcast to every worker. See :mod:`repro.serving.sharded`
   and ``benchmarks/bench_sharding.py``.
+
+Both tiers execute their batches through :class:`QueryExecutor`
+(:mod:`repro.serving.executor`) — a reusable thread pool that splits
+``query_many`` batches into chunks when the active kernel releases the
+GIL, composing N processes × M threads. See
+``benchmarks/bench_serving.py --thread-scaling``.
 """
 
 from repro.serving.cache import QueryCache
+from repro.serving.executor import QueryExecutor, resolve_threads
 from repro.serving.service import DistanceService
 from repro.serving.sharded import ShardedDistanceService
 
-__all__ = ["DistanceService", "QueryCache", "ShardedDistanceService"]
+__all__ = [
+    "DistanceService",
+    "QueryCache",
+    "QueryExecutor",
+    "ShardedDistanceService",
+    "resolve_threads",
+]

@@ -15,12 +15,24 @@ top of the capability-based oracle API (:mod:`repro.api`):
   and answered by a per-graph batch worker that drains the queue into
   one vectorized
   :meth:`~repro.core.query.HighwayCoverOracle.query_many` call — a
-  time/size-bounded micro-batch (``max_batch`` / ``max_wait_ms``). One
+  time/size-bounded micro-batch (``max_batch`` / ``max_wait_ms``; the
+  window is pinned to the *oldest waiting query's* enqueue time, so a
+  stream of stragglers can never stretch a batch past one window). One
   interpreter-level call per *batch* instead of per query is where the
   throughput multiple over a per-query lock comes from
   (``benchmarks/bench_serving.py`` records it); answers are
   byte-identical to calling ``oracle.query`` sequentially because
   ``query_many`` is (asserted by the batch-engine suite).
+* **Thread-parallel execution.** Each entry drains its micro-batches
+  (and bulk :meth:`~DistanceService.query_many` calls) through a
+  :class:`~repro.serving.QueryExecutor`: when the hosted oracle's
+  kernel releases the GIL (``cext`` / ``numba``), the batch splits
+  into chunks answered on a pool of ``threads`` worker threads —
+  byte-identical, reassembled in order. ``threads=None`` auto-sizes
+  the pool (``REPRO_THREADS``, else one thread per CPU iff the kernel
+  releases the GIL, else sequential); GIL-bound backends and hosted
+  composites (the sharded service, whose parallelism already lives in
+  worker processes) fall back to sequential execution gracefully.
 * **Update serialization.** Dynamic edge updates
   (:data:`~repro.api.Capability.DYNAMIC`) never overlap query
   execution: a seqlock-style version counter guards each entry — the
@@ -81,13 +93,25 @@ class _Pending:
 
 
 class _Entry:
-    """One hosted graph: oracle, queue, worker, seqlock state, counters."""
+    """One hosted graph: oracle, queue, worker, executor, seqlock state."""
 
-    def __init__(self, name: str, oracle, max_batch: int, max_wait_s: float) -> None:
+    def __init__(
+        self,
+        name: str,
+        oracle,
+        max_batch: int,
+        max_wait_s: float,
+        threads: Optional[int] = None,
+    ) -> None:
+        from repro.serving.executor import QueryExecutor
+
         self.name = name
         self.oracle = oracle
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        #: Thread-parallel chunk executor for this entry's batches; a
+        #: 1-thread pool degenerates to inline sequential execution.
+        self.executor = QueryExecutor.for_oracle(oracle, threads=threads)
         #: True when the service constructed the oracle itself (via
         #: ``open``) and therefore owns its lifecycle.
         self.owns_oracle = False
@@ -148,9 +172,15 @@ class _Entry:
                 return None
             # Coalescing window: a lone query lingers briefly so that
             # concurrent arrivals share its batch; a queue that already
-            # has company is drained immediately.
+            # has company is drained immediately. The deadline is pinned
+            # to the *oldest waiting query's* enqueue time — never
+            # recomputed from "now" on a wakeup — so (a) a stream of
+            # stragglers cannot stretch the batch past one max_wait_s
+            # window, and (b) a query that already waited out its window
+            # while the worker drained the previous batch executes
+            # immediately instead of paying a second window.
             if len(self.queue) < 2 and self.max_wait_s > 0 and not self.closed:
-                deadline = time.perf_counter() + self.max_wait_s
+                deadline = self.queue[0].enqueued_at + self.max_wait_s
                 while len(self.queue) < self.max_batch and not self.closed:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0:
@@ -176,7 +206,7 @@ class _Entry:
                 for i, pending in enumerate(batch):
                     pairs[i, 0] = pending.s
                     pairs[i, 1] = pending.t
-                distances = self.oracle.query_many(pairs)
+                distances = self.executor.run(self.oracle.query_many, pairs)
                 outcomes = [
                     (pending, float(value), None)
                     for pending, value in zip(batch, distances)
@@ -217,6 +247,7 @@ class _Entry:
             self.closed = True
             self.has_work.notify_all()
         self.worker.join()
+        self.executor.close()
         # The worker drained what it could; fail anything still queued.
         with self.lock:
             leftovers = list(self.queue)
@@ -237,7 +268,15 @@ class DistanceService:
         max_wait_ms: how long a lone query lingers for company before its
             batch executes anyway (the latency cost of coalescing; 0
             disables the window, degenerating to one batch per query
-            under sequential load).
+            under sequential load). The window is measured from the
+            oldest waiting query's enqueue time.
+        threads: executor thread count per hosted graph — each entry's
+            micro-batches and bulk ``query_many`` calls run through a
+            :class:`~repro.serving.QueryExecutor` of this size. ``None``
+            auto-sizes: ``REPRO_THREADS`` if set, else one thread per
+            CPU when the entry's kernel releases the GIL, else 1
+            (sequential; GIL-bound backends and process-sharded
+            composites gain nothing from more threads here).
 
     Thread safety: every public method may be called from any thread.
     Point queries block until their micro-batch is answered; dynamic
@@ -245,13 +284,21 @@ class DistanceService:
     query execution (see the module docstring).
     """
 
-    def __init__(self, max_batch: int = 512, max_wait_ms: float = 2.0) -> None:
+    def __init__(
+        self,
+        max_batch: int = 512,
+        max_wait_ms: float = 2.0,
+        threads: Optional[int] = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be at least 1 (or None for auto)")
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
+        self.threads = threads
         self._entries: Dict[str, _Entry] = {}
         self._registry_lock = threading.Lock()
         self._closed = False
@@ -280,7 +327,7 @@ class DistanceService:
             if name in self._entries:
                 raise ReproError(f"graph {name!r} is already registered")
             self._entries[name] = _Entry(
-                name, oracle, self.max_batch, self.max_wait_s
+                name, oracle, self.max_batch, self.max_wait_s, self.threads
             )
 
     def open(self, name: str, source, **open_options) -> None:
@@ -375,7 +422,9 @@ class DistanceService:
         entry = self._entry(name)
         entry._begin_read()
         try:
-            distances = np.asarray(entry.oracle.query_many(pairs), dtype=float)
+            distances = np.asarray(
+                entry.executor.run(entry.oracle.query_many, pairs), dtype=float
+            )
         finally:
             entry._end_read()
         with entry.lock:
@@ -456,7 +505,10 @@ class DistanceService:
         ``max_batch`` (largest batch seen), ``p50_ms`` / ``p99_ms``
         (coalesced-query latency percentiles over a sliding window),
         ``version``, ``kernel`` (the oracle's requested query kernel
-        name, or ``None`` when it auto-detects / has no kernel seam).
+        name, or ``None`` when it auto-detects / has no kernel seam),
+        and ``executor`` (the entry's
+        :meth:`~repro.serving.QueryExecutor.stats` dict: pool size,
+        parallel/sequential batch counts, per-thread utilization).
         """
         if name is None:
             return {n: self.stats(n) for n in self.names()}
@@ -485,6 +537,7 @@ class DistanceService:
                 else 0.0,
                 "version": entry.version,
                 "kernel": getattr(entry.oracle, "kernel", None),
+                "executor": entry.executor.stats(),
             }
 
     # -- Lifecycle -------------------------------------------------------------

@@ -111,13 +111,17 @@ def route_of(s: int, t: int, shards: int) -> int:
 def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
                  dynamic: bool,
                  kernel: Optional[str] = None,
+                 threads: Optional[int] = None,
                  ) -> None:  # pragma: no cover - runs in child
     """Entry point of one shard worker process.
 
     Opens the shared snapshot (zero-copy when ``use_mmap``), optionally
     promotes to the dynamic oracle (``update_mode="repair"``), selects
     the requested query kernel (``kernel`` travels as a name — backends
-    hold unpicklable handles and resolve per process), then answers
+    hold unpicklable handles and resolve per process), builds the
+    worker's :class:`~repro.serving.QueryExecutor` (``threads`` worker
+    threads; ``None`` auto-sizes to the CPU count when the kernel
+    releases the GIL — N processes × M threads compose), then answers
     request tuples from the parent until told to stop. Replies are
     ``("ok", payload)`` or ``("err", type_name, message)`` — never a
     pickled exception (library exceptions with multi-arg constructors
@@ -128,6 +132,7 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
     end-to-end by ``tests/test_sharded.py``.)
     """
     from repro.core.serialization import load_oracle
+    from repro.serving.executor import QueryExecutor
 
     try:
         oracle = load_oracle(graph, snapshot_path, mmap=use_mmap)
@@ -137,6 +142,7 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
             oracle = _promote_dynamic(oracle)
         if kernel is not None:
             oracle.set_kernel(kernel)
+        executor = QueryExecutor.for_oracle(oracle, threads=threads)
     except BaseException as exc:  # noqa: BLE001 - forwarded to parent
         # Startup failed (unreadable snapshot, promotion error): answer
         # every request — the parent's fail-fast ping first — with the
@@ -158,11 +164,15 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
             return
         tag = message[0]
         if tag == "stop":
+            executor.close()
             conn.close()
             return
         try:
             if tag == "query_many":
-                conn.send(("ok", np.asarray(oracle.query_many(message[1]))))
+                conn.send(
+                    ("ok",
+                     np.asarray(executor.run(oracle.query_many, message[1])))
+                )
             elif tag == "update":
                 _, op, u, v, new_path = message
                 if new_path is None:
@@ -185,6 +195,8 @@ def _worker_main(conn, graph: Graph, snapshot_path: str, use_mmap: bool,
                     conn.send(("ok", None))
             elif tag == "ping":
                 conn.send(("ok", {"pid": os.getpid()}))
+            elif tag == "stats":
+                conn.send(("ok", executor.stats()))
             else:  # pragma: no cover - protocol bug guard
                 conn.send(("err", "ProtocolError", f"unknown tag {tag!r}"))
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
@@ -410,6 +422,13 @@ class ShardedDistanceService:
             every worker (and the parent's writer) selects; ``None``
             lets each process auto-detect. Travels as a name — backends
             are per-process singletons and never cross the pipe.
+        threads: per-worker :class:`~repro.serving.QueryExecutor`
+            thread count — every worker process answers its
+            ``query_many`` chunks on a pool of this many threads, so N
+            shards × M threads compose into N·M concurrent bounded
+            searches when the kernel releases the GIL. ``None``
+            auto-sizes per worker (``REPRO_THREADS``, else the CPU
+            count iff the resolved kernel releases the GIL, else 1).
         wal: optional write-ahead-log path making the writer's updates
             crash-durable. Every ``insert_edge``/``delete_edge`` is
             logged (and fsynced, under the default policy) *before* the
@@ -456,6 +475,7 @@ class ShardedDistanceService:
         start_method: Optional[str] = None,
         spool_dir=None,
         kernel: Optional[str] = None,
+        threads: Optional[int] = None,
         wal=None,
         wal_fsync: str = "always",
         **build_options,
@@ -487,11 +507,14 @@ class ShardedDistanceService:
 
             # Fail fast in the parent; workers re-resolve by name.
             resolve_kernel(kernel)
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be at least 1 (or None for auto)")
         self.shards = int(shards)
         self.method = spec.name
         self.update_mode = update_mode
         self.mmap = mmap
         self.kernel = kernel
+        self.threads = threads
         self.max_batch = max_batch
         self.cache = QueryCache(cache_size)
         self._build_options = build_options
@@ -627,6 +650,7 @@ class ShardedDistanceService:
                     self.mmap,
                     dynamic_workers,
                     self.kernel,
+                    self.threads,
                 ),
                 name=f"repro-shard-{index}",
                 daemon=True,
@@ -938,19 +962,39 @@ class ShardedDistanceService:
         ``batch_occupancy`` (mean point queries per round trip),
         ``updates``, ``version``, ``snapshot`` (current generation
         path), ``kernel`` (the requested query kernel name, or ``None``
-        for per-process auto-detection), ``wal`` / ``wal_records`` (the
-        attached write-ahead log and its pending record count, or
-        ``None``/0), ``per_shard`` (point queries routed to each
-        worker) and ``cache`` (the :meth:`QueryCache.stats` dict).
+        for per-process auto-detection), ``threads`` (the requested
+        per-worker executor pool size, or ``None`` for per-worker
+        auto-sizing), ``wal`` / ``wal_records`` (the attached
+        write-ahead log and its pending record count, or ``None``/0),
+        ``per_shard`` (point queries routed to each worker),
+        ``executor_per_shard`` (each worker's live
+        :meth:`~repro.serving.QueryExecutor.stats` dict — pool size,
+        parallel/sequential batch counts, per-thread utilization —
+        or ``None`` for a dead/poisoned shard) and ``cache`` (the
+        :meth:`QueryCache.stats` dict).
         """
         per_shard = []
         batches = 0
         points = 0
+        executor_futures = []
         for shard in self._workers:
             with shard.lock:
                 per_shard.append(shard.point_queries)
                 batches += shard.batches
                 points += shard.point_queries
+            try:
+                executor_futures.append(shard.submit(_TaskItem(("stats",))))
+            except (ShardError, ServiceClosedError):
+                executor_futures.append(None)
+        executor_per_shard = []
+        for future in executor_futures:
+            if future is None:
+                executor_per_shard.append(None)
+                continue
+            try:
+                executor_per_shard.append(future.result())
+            except (ShardError, ServiceClosedError):
+                executor_per_shard.append(None)
         with self._stats_lock:
             stats = {
                 "shards": self.shards,
@@ -962,9 +1006,11 @@ class ShardedDistanceService:
                 "version": self._version,
                 "snapshot": str(self._snapshot_path),
                 "kernel": self.kernel,
+                "threads": self.threads,
                 "wal": None if self._wal is None else str(self._wal.path),
                 "wal_records": 0 if self._wal is None else len(self._wal),
                 "per_shard": per_shard,
+                "executor_per_shard": executor_per_shard,
                 "cache": self.cache.stats(),
             }
         return stats

@@ -234,6 +234,59 @@ class TestServeBench:
         assert "match looped oracle.query" in capsys.readouterr().out
 
 
+class TestThreadFlags:
+    def test_kernels_table_reports_releases_gil(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "releases_gil" in out
+        assert "numpy" in out
+
+    def test_query_batch_threads_matches_sequential(
+        self, edgelist, tmp_path, capsys
+    ):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index), "-k", "6"])
+        capsys.readouterr()
+        args = [
+            "query-batch", str(edgelist), str(index),
+            "--random", "40", "--seed", "11",
+        ]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--threads", "2"]) == 0
+        threaded = capsys.readouterr()
+        assert threaded.out == sequential  # byte-identical answers
+        assert "threads=2" in threaded.err
+
+    def test_query_batch_rejects_bad_threads(self, edgelist, tmp_path, capsys):
+        index = tmp_path / "index.hl"
+        main(["build", str(edgelist), "-o", str(index), "-k", "6"])
+        capsys.readouterr()
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "query-batch", str(edgelist), str(index),
+                    "--random", "10", "--threads", "0",
+                ]
+            )
+
+    def test_serve_bench_exec_threads(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--n", "300",
+                    "--queries", "150",
+                    "--threads", "2",
+                    "--exec-threads", "2",
+                    "-k", "5",
+                ]
+            )
+            == 0
+        )
+        assert "150/150 match looped oracle.query" in capsys.readouterr().out
+
+
 class TestMethods:
     def test_methods_lists_registry(self, capsys):
         assert main(["methods"]) == 0

@@ -31,6 +31,7 @@ AUDITED_MODULES = [
     "src/repro/api/protocol.py",
     "src/repro/serving/__init__.py",
     "src/repro/serving/cache.py",
+    "src/repro/serving/executor.py",
     "src/repro/serving/service.py",
     "src/repro/serving/sharded.py",
     "src/repro/core/labels.py",

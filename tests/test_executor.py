@@ -1,0 +1,277 @@
+"""Tests for :class:`~repro.serving.QueryExecutor` and its thread policy.
+
+The acceptance bars from ISSUE 8: thread-parallel ``query_many``
+answers are **byte-identical** to the sequential path on every backend;
+each worker thread owns its own kernel :class:`Workspace` (never shared
+across threads); the steady state allocates zero O(n) scratch; and the
+thread-count policy resolves explicit > ``REPRO_THREADS`` > auto
+(cores iff the kernel releases the GIL).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import build_oracle
+from repro.core import batch_engine
+from repro.core.kernels import available_kernels, get_kernel
+from repro.core.kernels import interface as kernel_interface
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.sampling import sample_vertex_pairs
+from repro.serving import QueryExecutor, resolve_threads
+from repro.serving.executor import ENV_VAR
+
+
+@pytest.fixture(scope="module")
+def exec_graph():
+    return barabasi_albert_graph(500, 3, seed=23)
+
+
+@pytest.fixture(scope="module")
+def exec_oracle(exec_graph):
+    return build_oracle(exec_graph, "hl", num_landmarks=8)
+
+
+@pytest.fixture(scope="module")
+def exec_pairs(exec_graph):
+    return sample_vertex_pairs(exec_graph, 800, seed=29)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("backend", available_kernels())
+    def test_parallel_equals_sequential_per_backend(
+        self, exec_oracle, exec_pairs, backend
+    ):
+        exec_oracle.set_kernel(backend)
+        try:
+            expected = exec_oracle.query_many(exec_pairs)
+            with QueryExecutor(threads=4, kernel=backend) as executor:
+                answer = executor.run(exec_oracle.query_many, exec_pairs)
+                stats = executor.stats()
+        finally:
+            exec_oracle.set_kernel(None)
+        assert answer.dtype == expected.dtype
+        assert np.array_equal(answer, expected)
+        assert stats["parallel_batches"] == 1
+
+    def test_tuple_results_reassemble_aligned(self, exec_oracle, exec_pairs):
+        """``(distances, covered)`` tuples concatenate per position."""
+        expected = exec_oracle.query_many(exec_pairs, return_coverage=True)
+        with QueryExecutor(threads=4) as executor:
+            got = executor.run(
+                lambda chunk: exec_oracle.query_many(
+                    chunk, return_coverage=True
+                ),
+                exec_pairs,
+            )
+        assert isinstance(got, tuple) and len(got) == 2
+        for got_part, want_part in zip(got, expected):
+            assert np.array_equal(got_part, want_part)
+
+    def test_uneven_split_preserves_order(self):
+        """101 rows across 4 threads: np.array_split chunks unevenly but
+        the reassembled answer is still in submission order."""
+        pairs = np.arange(202, dtype=np.int64).reshape(101, 2)
+        with QueryExecutor(threads=4, min_chunk=1) as executor:
+            answer = executor.run(
+                lambda chunk: chunk[:, 0].astype(float), pairs
+            )
+        assert np.array_equal(answer, pairs[:, 0].astype(float))
+
+    def test_verify_mode_self_checks(self, exec_oracle, exec_pairs):
+        with QueryExecutor(threads=2, verify=True) as executor:
+            answer = executor.run(exec_oracle.query_many, exec_pairs)
+        assert np.array_equal(answer, exec_oracle.query_many(exec_pairs))
+
+    def test_small_batches_run_inline(self, exec_oracle):
+        """Batches under 2 * min_chunk never pay the thread handoff."""
+        pairs = np.zeros((10, 2), dtype=np.int64)
+        with QueryExecutor(threads=4, min_chunk=64) as executor:
+            executor.run(exec_oracle.query_many, pairs)
+            stats = executor.stats()
+        assert stats["sequential_batches"] == 1
+        assert stats["parallel_batches"] == 0
+        assert stats["per_thread"] == []  # pool never spun up
+
+
+class TestResolveThreads:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "7")
+        assert resolve_threads(3) == 3
+
+    def test_env_is_an_explicit_request(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "5")
+        assert resolve_threads() == 5
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", "0", "-2"])
+    def test_bad_env_fails_loudly(self, monkeypatch, bad):
+        monkeypatch.setenv(ENV_VAR, bad)
+        with pytest.raises(ValueError):
+            resolve_threads()
+
+    def test_explicit_zero_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            resolve_threads(0)
+
+    def test_auto_is_sequential_on_gil_bound_kernels(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_threads(kernel="numpy") == 1
+
+    @pytest.mark.skipif(
+        "cext" not in available_kernels(), reason="no C compiler"
+    )
+    def test_auto_uses_cores_on_no_gil_kernels(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_threads(kernel="cext") == max(1, os.cpu_count() or 1)
+        assert get_kernel("cext").releases_gil
+
+    def test_for_oracle_consults_kernel_backend(self, exec_oracle, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        with QueryExecutor.for_oracle(exec_oracle) as executor:
+            expected = (
+                max(1, os.cpu_count() or 1)
+                if exec_oracle.kernel_backend.releases_gil
+                else 1
+            )
+            assert executor.threads == expected
+
+    def test_for_oracle_without_kernel_seam_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+
+        class Looped:  # no kernel_backend attribute, like the baselines
+            pass
+
+        with QueryExecutor.for_oracle(Looped()) as executor:
+            assert executor.threads == 1
+        with QueryExecutor.for_oracle(Looped(), threads=3) as executor:
+            assert executor.threads == 3
+
+
+class TestWorkspaceIsolation:
+    def test_sixteen_threads_never_share_a_workspace(
+        self, exec_oracle, exec_graph, monkeypatch
+    ):
+        """Hammer one oracle from 16 pool threads: every thread must get
+        its own Workspace, and no workspace may appear on two threads."""
+        real = batch_engine.get_workspace
+        seen: dict = {}  # thread ident -> set of workspace ids
+        record_lock = threading.Lock()
+
+        def recording(n):
+            ws = real(n)
+            with record_lock:
+                seen.setdefault(threading.get_ident(), set()).add(id(ws))
+            return ws
+
+        monkeypatch.setattr(batch_engine, "get_workspace", recording)
+        pairs = sample_vertex_pairs(exec_graph, 640, seed=31)
+        expected = exec_oracle.query_many(pairs)
+        with QueryExecutor(threads=16, min_chunk=1) as executor:
+            for _ in range(3):
+                answer = executor.run(exec_oracle.query_many, pairs)
+                assert np.array_equal(answer, expected)
+        worker_spaces = {
+            ident: spaces
+            for ident, spaces in seen.items()
+            if ident != threading.get_ident()
+        }
+        assert len(worker_spaces) == 16  # all 16 workers did real work
+        for spaces in worker_spaces.values():
+            assert len(spaces) == 1  # one workspace per thread, reused
+        all_spaces = [ws for s in worker_spaces.values() for ws in s]
+        assert len(all_spaces) == len(set(all_spaces))  # none shared
+
+    def test_steady_state_allocates_no_scratch(
+        self, exec_oracle, exec_pairs, monkeypatch
+    ):
+        """After warmup, parallel batches reuse every thread's scratch:
+        the counting allocator must observe zero O(n) allocations."""
+        with QueryExecutor(threads=8, min_chunk=1) as executor:
+            warm = executor.run(exec_oracle.query_many, exec_pairs)
+
+            allocations = []
+            real_alloc = kernel_interface.scratch_alloc
+
+            def counting_alloc(n, dtype):
+                allocations.append((n, dtype))
+                return real_alloc(n, dtype)
+
+            monkeypatch.setattr(
+                kernel_interface, "scratch_alloc", counting_alloc
+            )
+            hot = executor.run(exec_oracle.query_many, exec_pairs)
+        assert np.array_equal(hot, warm)
+        assert allocations == [], (
+            f"steady-state parallel batches allocated O(n) scratch: "
+            f"{allocations[:4]}"
+        )
+
+
+class TestLifecycleAndErrors:
+    def test_chunk_errors_propagate_after_batch_settles(self):
+        pairs = np.zeros((256, 2), dtype=np.int64)
+        calls = []
+
+        def flaky(chunk):
+            calls.append(len(chunk))
+            if len(calls) == 2:
+                raise RuntimeError("chunk exploded")
+            return np.zeros(len(chunk))
+
+        with QueryExecutor(threads=4, min_chunk=1) as executor:
+            with pytest.raises(RuntimeError, match="chunk exploded"):
+                executor.run(flaky, pairs)
+            assert len(calls) == 4  # every chunk ran; no orphan writers
+            # The pool survives a failed batch.
+            answer = executor.run(lambda c: np.ones(len(c)), pairs)
+        assert np.array_equal(answer, np.ones(len(pairs)))
+
+    def test_close_is_idempotent_and_final(self, exec_oracle, exec_pairs):
+        executor = QueryExecutor(threads=2)
+        executor.run(exec_oracle.query_many, exec_pairs)
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run(exec_oracle.query_many, exec_pairs)
+
+    def test_stats_shape(self, exec_oracle, exec_pairs):
+        with QueryExecutor(threads=3, kernel="numpy") as executor:
+            executor.run(exec_oracle.query_many, exec_pairs)
+            stats = executor.stats()
+        assert stats["threads"] == 3
+        assert stats["kernel"] == "numpy"
+        assert stats["parallel_batches"] == 1
+        assert len(stats["per_thread"]) == 3
+        assert sum(t["chunks"] for t in stats["per_thread"]) == 3
+        for t in stats["per_thread"]:
+            assert t["busy_s"] >= 0.0
+            assert 0.0 <= t["utilization"] <= 1.0 + 1e-6
+
+    def test_run_serializes_concurrent_callers(self, exec_oracle, exec_pairs):
+        """run() from many client threads at once stays exact (batches
+        are serialized internally, one in flight at a time)."""
+        expected = exec_oracle.query_many(exec_pairs)
+        results = [None] * 6
+        with QueryExecutor(threads=4, min_chunk=1) as executor:
+
+            def client(slot):
+                results[slot] = executor.run(
+                    exec_oracle.query_many, exec_pairs
+                )
+
+            clients = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+            stats = executor.stats()
+        for got in results:
+            assert np.array_equal(got, expected)
+        assert stats["parallel_batches"] == 6

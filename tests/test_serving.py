@@ -10,6 +10,7 @@ surface reports what happened.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -156,6 +157,118 @@ class TestConcurrentExactness:
             # The worker must keep serving either way.
             assert service.query("g", 0, 5) == served_oracle.query(0, 5)
             assert first.cancelled() or first.result() == served_oracle.query(0, 5)
+
+
+class TestCoalescingDeadline:
+    """The coalescing window is pinned to the oldest query's enqueue
+    time — regression tests for the deadline bug where it was restarted
+    from "now" whenever the collector woke up."""
+
+    def test_straggler_stream_cannot_stretch_the_window(
+        self, served_graph, served_oracle
+    ):
+        """A first query followed by a slow stream of stragglers must be
+        answered within ~one max_wait_s window, not one window per
+        straggler."""
+        window_s = 0.05
+        with DistanceService(max_wait_ms=window_s * 1e3) as service:
+            service.register("g", served_oracle)
+            stop = threading.Event()
+
+            def slow_submitter():
+                # One straggler every window/2 — under a sliding-window
+                # deadline these would extend the batch indefinitely.
+                while not stop.is_set():
+                    service.query_async("g", 0, 1)
+                    time.sleep(window_s / 2)
+
+            submitter = threading.Thread(target=slow_submitter)
+            first = service.query_async("g", 0, 2)
+            submitted = time.perf_counter()
+            submitter.start()
+            try:
+                first.result(timeout=10.0)
+                waited = time.perf_counter() - submitted
+            finally:
+                stop.set()
+                submitter.join()
+        assert first.result() == served_oracle.query(0, 2)
+        # Generous CI margin: 4 windows, not the 10+ a sliding deadline
+        # would take before the straggler stream happened to pause.
+        assert waited < 4 * window_s, (
+            f"first query waited {waited * 1e3:.0f}ms — the straggler "
+            f"stream stretched the {window_s * 1e3:.0f}ms window"
+        )
+
+    def test_query_that_outwaited_its_window_runs_immediately(
+        self, served_graph, served_oracle
+    ):
+        """A query enqueued while the worker drains a previous (slow)
+        batch has already served its window when the worker returns; it
+        must execute immediately, not pay a second window."""
+        window_s = 0.25
+        block = threading.Event()
+        real_query_many = served_oracle.query_many
+
+        def gated_query_many(pairs, **kwargs):
+            block.wait(timeout=10.0)
+            return real_query_many(pairs, **kwargs)
+
+        with DistanceService(max_wait_ms=window_s * 1e3) as service:
+            service.register("g", served_oracle)
+            entry = service._entry("g")
+            entry.oracle = type(
+                "GatedOracle",
+                (),
+                {
+                    "graph": served_oracle.graph,
+                    "query_many": staticmethod(gated_query_many),
+                    "query": staticmethod(served_oracle.query),
+                },
+            )()
+            first = service.query_async("g", 0, 1)  # batch 1: blocks
+            time.sleep(window_s / 5)  # let the worker pick batch 1 up
+            second = service.query_async("g", 0, 2)  # waits behind it
+            time.sleep(window_s * 1.5)  # second outlives its own window
+            block.set()  # batch 1 finishes; batch 2 must run *now*
+            released = time.perf_counter()
+            assert first.result(timeout=10.0) == served_oracle.query(0, 1)
+            assert second.result(timeout=10.0) == served_oracle.query(0, 2)
+            lag = time.perf_counter() - released
+        assert lag < window_s, (
+            f"second query paid a fresh {window_s * 1e3:.0f}ms window "
+            f"({lag * 1e3:.0f}ms) after already waiting out its own"
+        )
+
+
+class TestThreadedExecution:
+    def test_service_threads_stay_exact(self, served_graph, served_oracle):
+        """threads=2 routes micro-batches through a thread pool; the
+        answers must stay byte-identical to the sequential oracle."""
+        pairs = sample_vertex_pairs(served_graph, 1200, seed=43)
+        expected = served_oracle.query_many(pairs)
+        with DistanceService(max_wait_ms=1.0, threads=2) as service:
+            service.register("g", served_oracle)
+            results = _run_threads(service, "g", pairs, threads=8)
+            bulk = service.query_many("g", pairs)
+            stats = service.stats("g")
+        assert np.array_equal(results, expected)
+        assert np.array_equal(bulk, expected)
+        assert stats["executor"]["threads"] == 2
+
+    def test_stats_surface_executor_block(self, served_graph, served_oracle):
+        with DistanceService(max_wait_ms=0.0, threads=2) as service:
+            service.register("g", served_oracle)
+            pairs = sample_vertex_pairs(served_graph, 600, seed=47)
+            service.query_many("g", pairs)
+            executor_stats = service.stats("g")["executor"]
+        assert executor_stats["threads"] == 2
+        assert executor_stats["parallel_batches"] >= 1
+        assert len(executor_stats["per_thread"]) == 2
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            DistanceService(threads=0)
 
 
 class TestRegistry:

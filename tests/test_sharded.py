@@ -180,6 +180,64 @@ class TestShardedExactness:
         assert stats["batch_occupancy"] > 1.0
 
 
+class TestThreadedWorkers:
+    """N processes × M threads compose: every worker runs its own
+    :class:`~repro.serving.QueryExecutor` over the no-GIL kernels."""
+
+    def test_two_by_two_compose_byte_identical(
+        self, sharded_graph, snapshot_path, reference_oracle
+    ):
+        pairs = sample_vertex_pairs(sharded_graph, 600, seed=61)
+        expected = reference_oracle.query_many(pairs)
+        with ShardedDistanceService.from_snapshot(
+            sharded_graph, snapshot_path, shards=2, threads=2
+        ) as svc:
+            got = svc.query_many(pairs)
+            for s, t in pairs[:16]:
+                assert svc.query(int(s), int(t)) == reference_oracle.query(
+                    int(s), int(t)
+                )
+            stats = svc.stats()
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+        assert stats["threads"] == 2
+
+    def test_stats_report_per_shard_executors(
+        self, sharded_graph, snapshot_path
+    ):
+        pairs = sample_vertex_pairs(sharded_graph, 512, seed=67)
+        with ShardedDistanceService.from_snapshot(
+            sharded_graph, snapshot_path, shards=2, threads=2
+        ) as svc:
+            svc.query_many(pairs)
+            per_shard = svc.stats()["executor_per_shard"]
+        assert len(per_shard) == 2
+        for executor_stats in per_shard:
+            assert executor_stats is not None
+            assert executor_stats["threads"] == 2
+            assert len(executor_stats["per_thread"]) <= 2
+            assert (
+                executor_stats["parallel_batches"]
+                + executor_stats["sequential_batches"]
+            ) >= 1
+
+    def test_invalid_threads_rejected(self, sharded_graph, snapshot_path):
+        with pytest.raises(ValueError, match="at least 1"):
+            ShardedDistanceService.from_snapshot(
+                sharded_graph, snapshot_path, shards=2, threads=0
+            )
+
+    def test_closed_service_stats_degrade_gracefully(
+        self, sharded_graph, snapshot_path
+    ):
+        svc = ShardedDistanceService.from_snapshot(
+            sharded_graph, snapshot_path, shards=2, threads=2
+        )
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.query(0, 1)
+
+
 @pytest.mark.parametrize("update_mode", ["remap", "repair"])
 class TestDynamicUpdatePropagation:
     def test_workers_see_post_update_distances(
