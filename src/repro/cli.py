@@ -11,7 +11,23 @@ Commands:
 * ``query <edgelist> <index> s t [s t ...] [--mmap] [--kernel K]`` —
   exact distances from a saved index; ``--mmap`` maps a v2 index
   zero-copy instead of reading it into RAM, ``--kernel`` selects the
-  query kernel backend (see ``kernels``).
+  query kernel backend (see ``kernels``). With ``--remote HOST:PORT``
+  the positionals are all vertex ids and the distances come from a
+  running ``repro serve`` over the wire protocol instead of a local
+  index.
+* ``serve <edgelist> <index> [--host H] [--port P] [--shards N]
+  [--dynamic] [--mmap] [--kernel K] [--spool DIR [--poll-s S]]
+  [--max-queue Q] [--worker-threads T]`` — host the index behind the
+  asyncio TCP front door (:mod:`repro.serving.net`): bounded-ingress
+  admission control with retry-after backpressure, and — with
+  ``--spool`` — zero-downtime rollover to every new snapshot
+  generation a writer publishes into that directory.
+* ``net-bench [--readers R] [--rounds N] [--rollovers K] [--shards S]
+  [--out F]`` — the mixed read/write wire benchmark
+  (:mod:`repro.serving.net.loadgen`): reader clients hammer a live
+  server while snapshot generations publish mid-load; asserts zero
+  failed requests and per-generation byte-identity, reports the
+  QPS/p50/p99 curve.
 * ``query-batch <edgelist> <index> [--pairs-file F | --random N]
   [--mmap] [--kernel K] [--threads T]`` — bulk exact distances through
   the vectorized batch engine; ``--threads`` splits the batch across a
@@ -122,18 +138,112 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(remote: str):
+    """Split a ``HOST:PORT`` CLI argument; raises ``ValueError``."""
+    host, sep, port = remote.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--remote wants HOST:PORT, got {remote!r}")
+    return host, int(port)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    if len(args.vertices) % 2:
+    vertices = list(args.vertices)
+    if args.remote is not None:
+        # Remote mode needs no local graph/index: the two positionals
+        # are the first vertex pair.
+        try:
+            extra = [int(args.graph), int(args.index)]
+        except ValueError:
+            print(
+                "error: with --remote, all positionals are vertex ids",
+                file=sys.stderr,
+            )
+            return 2
+        vertices = extra + vertices
+    if len(vertices) % 2:
         print("error: provide an even number of vertex ids (s t pairs)", file=sys.stderr)
         return 2
+    if args.remote is not None:
+        from repro.serving.net import NetClient
+
+        try:
+            host, port = _parse_address(args.remote)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        with NetClient(host, port) as client:
+            for i in range(0, len(vertices), 2):
+                s, t = vertices[i], vertices[i + 1]
+                d = client.query(s, t)
+                rendered = "inf" if d == float("inf") else f"{d:.0f}"
+                print(f"d({s}, {t}) = {rendered}")
+        return 0
     oracle = open_oracle(
         args.graph, index=args.index, mmap=args.mmap, kernel=args.kernel
     )
-    for i in range(0, len(args.vertices), 2):
-        s, t = args.vertices[i], args.vertices[i + 1]
+    for i in range(0, len(vertices), 2):
+        s, t = vertices[i], vertices[i + 1]
         d = oracle.query(s, t)
         rendered = "inf" if d == float("inf") else f"{d:.0f}"
         print(f"d({s}, {t}) = {rendered}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.net import NetServer, SnapshotRollover
+
+    graph = read_edge_list(args.graph)
+    backend = open_oracle(
+        graph,
+        index=args.index,
+        mmap=args.mmap,
+        dynamic=args.dynamic,
+        shards=args.shards if args.shards > 1 else None,
+        kernel=args.kernel,
+    )
+    rollover = None
+    if args.spool is not None:
+        rollover = SnapshotRollover(
+            args.spool,
+            graph=graph,
+            mmap=bool(args.mmap),
+            kernel=args.kernel,
+            shards=args.shards if args.shards > 1 else None,
+            poll_s=args.poll_s,
+        )
+    server = NetServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        worker_threads=args.worker_threads,
+        rollover=rollover,
+        owns_backend=True,
+    )
+    server.run_forever()
+    return 0
+
+
+def _cmd_net_bench(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.serving.net.loadgen import run_net_bench
+
+    try:
+        run_net_bench(
+            n=args.n,
+            landmarks=args.landmarks,
+            readers=args.readers,
+            rounds=args.rounds,
+            batch_size=args.batch_size,
+            rollovers=args.rollovers,
+            shards=args.shards if args.shards > 1 else None,
+            kernel=args.kernel,
+            seed=args.seed,
+            out=args.out,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -559,16 +669,105 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="query distances from a saved index")
-    p_query.add_argument("graph", help="edge-list file")
-    p_query.add_argument("index", help="index file from 'build'")
-    p_query.add_argument("vertices", nargs="+", type=int, help="s t [s t ...]")
+    p_query.add_argument(
+        "graph", help="edge-list file (a vertex id with --remote)"
+    )
+    p_query.add_argument(
+        "index", help="index file from 'build' (a vertex id with --remote)"
+    )
+    p_query.add_argument(
+        "vertices", nargs="*", type=int, help="s t [s t ...]"
+    )
     p_query.add_argument(
         "--mmap",
         action="store_true",
         help="map the v2 index zero-copy instead of reading it into RAM",
     )
+    p_query.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running 'repro serve' over the wire instead of a "
+        "local index (all positionals become vertex ids)",
+    )
     _add_kernel_option(p_query)
     p_query.set_defaults(func=_cmd_query)
+
+    p_net_serve = sub.add_parser(
+        "serve",
+        help="host an index behind the asyncio TCP front door",
+    )
+    p_net_serve.add_argument("graph", help="edge-list file")
+    p_net_serve.add_argument(
+        "index", nargs="?", default=None,
+        help="index file from 'build' (default: build in-process)",
+    )
+    p_net_serve.add_argument("--host", default="127.0.0.1")
+    p_net_serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    p_net_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through N worker processes (1 = in-process oracle)",
+    )
+    p_net_serve.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="promote to a dynamic oracle so wire INSERT/DELETE work",
+    )
+    p_net_serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="map the v2 index zero-copy instead of reading it into RAM",
+    )
+    p_net_serve.add_argument(
+        "--spool",
+        default=None,
+        metavar="DIR",
+        help="watch this SnapshotSpool directory and roll over to new "
+        "generations with zero downtime",
+    )
+    p_net_serve.add_argument(
+        "--poll-s", type=float, default=0.25, help="spool poll interval"
+    )
+    p_net_serve.add_argument("--max-queue", type=int, default=1024)
+    p_net_serve.add_argument("--worker-threads", type=int, default=2)
+    _add_kernel_option(p_net_serve)
+    p_net_serve.set_defaults(func=_cmd_serve)
+
+    p_net_bench = sub.add_parser(
+        "net-bench",
+        help="mixed read/write wire benchmark with mid-load rollover, "
+        "exactness-verified",
+    )
+    p_net_bench.add_argument(
+        "--n", type=int, default=2000, help="synthetic graph size"
+    )
+    p_net_bench.add_argument("-k", "--landmarks", type=int, default=16)
+    p_net_bench.add_argument("--readers", type=int, default=4)
+    p_net_bench.add_argument(
+        "--rounds", type=int, default=24, help="batches per reader"
+    )
+    p_net_bench.add_argument("--batch-size", type=int, default=64)
+    p_net_bench.add_argument(
+        "--rollovers", type=int, default=2,
+        help="snapshot generations published mid-load",
+    )
+    p_net_bench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve each generation through N worker processes",
+    )
+    p_net_bench.add_argument("--seed", type=int, default=0)
+    p_net_bench.add_argument(
+        "--out", default=None, metavar="F",
+        help="also write the report lines to this file",
+    )
+    _add_kernel_option(p_net_bench)
+    p_net_bench.set_defaults(func=_cmd_net_bench)
 
     p_batch = sub.add_parser(
         "query-batch",

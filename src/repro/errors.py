@@ -88,6 +88,50 @@ class KernelUnavailableError(KernelError):
     """
 
 
+class ProtocolError(ReproError):
+    """A wire-protocol frame is malformed or violates the protocol.
+
+    Raised by :mod:`repro.serving.net.wire` for bad magic, an
+    unsupported protocol version, an unknown opcode/status, a frame
+    exceeding the negotiated size limit, or a payload whose length does
+    not match its opcode's layout. On the server a protocol violation
+    is answered with ``Status.PROTOCOL_ERROR`` and the connection is
+    closed (the stream offset can no longer be trusted); on the client
+    it surfaces as this exception.
+    """
+
+
+class OverloadedError(ReproError):
+    """The server shed this request under admission control.
+
+    Carries ``retry_after`` — the server's backpressure hint, in
+    seconds — so well-behaved clients (e.g.
+    :class:`repro.serving.net.client.NetClient`) can wait it out and
+    retry instead of hammering a saturated ingress queue. Maps onto the
+    wire as ``Status.OVERLOADED``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class StaleGenerationError(ReproError):
+    """A request demanded a newer snapshot generation than is serving.
+
+    Requests carry a *minimum acceptable generation* (0 = any); when
+    the server's current generation is older — e.g. a client observed
+    generation N+1 elsewhere and insists on read-your-writes — the
+    request is rejected with ``Status.STALE_GENERATION`` and the
+    serving generation, instead of silently answering from the stale
+    snapshot. ``generation`` is the generation that *was* serving.
+    """
+
+    def __init__(self, message: str, generation: int = 0) -> None:
+        super().__init__(message)
+        self.generation = int(generation)
+
+
 class ConstructionBudgetExceeded(ReproError):
     """A labelling construction exceeded its time budget.
 

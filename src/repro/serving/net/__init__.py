@@ -1,0 +1,33 @@
+"""``repro.serving.net`` — the wire-protocol serving layer.
+
+The network front door over the in-process serving tiers (see
+``docs/networking.md`` for the full design):
+
+* :mod:`repro.serving.net.wire` — the sans-io protocol: length-prefixed
+  versioned binary frames, request/response codecs, and the
+  bidirectional status-code <-> typed-exception mapping.
+* :class:`NetServer` (:mod:`repro.serving.net.server`) — asyncio TCP
+  server over any oracle-protocol backend: bounded-ingress admission
+  control with retry-after backpressure, per-client accounting, and
+  zero-downtime snapshot rollover driven by a
+  :class:`SnapshotRollover` watcher over the durable
+  :class:`~repro.core.serialization.SnapshotSpool`.
+* :class:`NetClient` / :class:`AsyncNetClient`
+  (:mod:`repro.serving.net.client`) — pipelined clients with reconnect
+  (capped exponential backoff) and overload-retry cooperation.
+* :mod:`repro.serving.net.loadgen` — the mixed read/write load
+  generator behind ``repro net-bench`` and
+  ``benchmarks/bench_net.py``: byte-identity against an in-process
+  oracle per generation, QPS/latency percentiles, and a mid-run
+  rollover with zero failed requests.
+"""
+
+from repro.serving.net.client import AsyncNetClient, NetClient
+from repro.serving.net.server import NetServer, SnapshotRollover
+
+__all__ = [
+    "AsyncNetClient",
+    "NetClient",
+    "NetServer",
+    "SnapshotRollover",
+]

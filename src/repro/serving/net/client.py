@@ -1,0 +1,579 @@
+"""Clients for the wire protocol: synchronous and asyncio, pipelined.
+
+Both clients are thin shells around the sans-io codec
+(:mod:`repro.serving.net.wire`) — the protocol logic (framing, request
+ids, status-to-exception mapping) is shared; only the byte transport
+differs:
+
+* :class:`NetClient` — blocking sockets, for scripts, the CLI
+  (``repro query --remote``), and thread-based load generators.
+* :class:`AsyncNetClient` — asyncio streams with a demultiplexing
+  reader task, so any number of coroutines can have requests in flight
+  on one connection.
+
+Shared behaviour:
+
+* **Pipelined batches.** ``query_many`` splits large pair arrays into
+  ``batch_size`` chunks and keeps up to ``window`` BATCH frames in
+  flight; responses are matched by request id (the server may answer
+  out of order) and reassembled in submission order.
+* **Reconnect with capped exponential backoff.** A dead connection
+  (server restart, network blip) is re-dialed with delays
+  ``backoff_base * 2^k`` capped at ``backoff_cap``; idempotent reads
+  are re-sent transparently, while edge updates are *never* auto-resent
+  (the update may have applied before the acknowledgement was lost —
+  re-sending could double-apply).
+* **Backpressure cooperation.** An ``OVERLOADED`` rejection is retried
+  after the server's ``retry_after`` hint, up to
+  ``max_overload_retries`` times, after which the
+  :class:`~repro.errors.OverloadedError` propagates to the caller.
+* **Generation tracking.** Every response carries the snapshot
+  generation that answered it; :attr:`NetClient.generation` exposes
+  the latest observed one, and per-call ``min_generation`` turns it
+  into a read-your-writes bound (the server rejects with
+  ``STALE_GENERATION`` rather than answer from an older snapshot).
+
+Example::
+
+    from repro.serving.net import NetClient
+
+    with NetClient(host, port) as client:
+        client.query(3, 250)
+        client.query_many([(0, 1), (2, 9)])
+        client.stats()["generation"]
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import OverloadedError, ReproError
+from repro.serving.net import wire
+from repro.serving.net.wire import Frame, FrameDecoder, Op
+
+__all__ = ["AsyncNetClient", "NetClient"]
+
+_RECV_BYTES = 65536
+
+
+class _ClientBase:
+    """Connection-agnostic protocol state shared by both clients."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        connect_attempts: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        max_overload_retries: int = 64,
+        min_generation: int = 0,
+        max_frame_bytes: int = wire.MAX_FRAME_BYTES,
+    ) -> None:
+        if connect_attempts < 1:
+            raise ValueError("connect_attempts must be at least 1")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.connect_attempts = int(connect_attempts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.max_overload_retries = int(max_overload_retries)
+        self.min_generation = int(min_generation)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._next_id = 1
+        self.generation = 0
+        #: Counters for reconciling against server-side accounting.
+        self.sent = 0
+        self.received = 0
+        self.reconnects = 0
+        self.overload_retries = 0
+
+    def _take_id(self) -> int:
+        request_id = self._next_id
+        # Wrap before the u32 ceiling; id 0 is reserved for
+        # connection-level errors the server cannot attribute.
+        self._next_id = request_id + 1 if request_id < 0xFFFFFFFF else 1
+        return request_id
+
+    def _backoff_delays(self) -> List[float]:
+        return [
+            min(self.backoff_base * (2 ** k), self.backoff_cap)
+            for k in range(self.connect_attempts - 1)
+        ]
+
+    def _note_response(self, frame: Frame) -> None:
+        self.received += 1
+        if frame.generation > self.generation:
+            self.generation = frame.generation
+
+
+class NetClient(_ClientBase):
+    """Blocking client for :class:`~repro.serving.net.server.NetServer`.
+
+    Thread safety: one ``NetClient`` serves one thread; give each
+    thread its own instance (they are cheap — one socket each).
+
+    Args:
+        host / port: the server address.
+        timeout: socket timeout for connect/send/receive, seconds.
+        connect_attempts: total dial attempts (first + retries) before
+            a connection error propagates.
+        backoff_base / backoff_cap: reconnect delays are
+            ``backoff_base * 2^k`` seconds, capped at ``backoff_cap``.
+        max_overload_retries: how many ``OVERLOADED`` rejections to wait
+            out (per call) before surfacing the error.
+        min_generation: default minimum acceptable snapshot generation
+            stamped on every request (0 = any; see module docstring).
+    """
+
+    def __init__(self, host: str, port: int, **options) -> None:
+        super().__init__(host, port, **options)
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder(self.max_frame_bytes)
+        self._stash: Dict[int, Frame] = {}
+
+    # -- Connection management ----------------------------------------------
+
+    def connect(self) -> "NetClient":
+        """Dial the server (with backoff); idempotent if already connected."""
+        if self._sock is not None:
+            return self
+        delays = self._backoff_delays()
+        for attempt in range(self.connect_attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                self._decoder = FrameDecoder(self.max_frame_bytes)
+                self._stash.clear()
+                return self
+            except OSError:
+                if attempt >= len(delays):
+                    raise
+                time.sleep(delays[attempt])
+        raise ReproError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        """Close the socket; the client may be reused (it re-dials)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _drop_connection(self) -> None:
+        self.close()
+        self.reconnects += 1
+
+    def __enter__(self) -> "NetClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- Frame transport -----------------------------------------------------
+
+    def _send_frame(
+        self, op: int, payload: bytes, min_generation: Optional[int]
+    ) -> int:
+        self.connect()
+        request_id = self._take_id()
+        generation = (
+            self.min_generation if min_generation is None else min_generation
+        )
+        self._sock.sendall(
+            wire.encode_frame(op, request_id, generation, payload)
+        )
+        self.sent += 1
+        return request_id
+
+    def _recv_response(self, request_id: int) -> Frame:
+        """Block until the response for ``request_id`` arrives.
+
+        Out-of-order responses (pipelining) are stashed for their own
+        waiters.
+        """
+        while True:
+            frame = self._stash.pop(request_id, None)
+            if frame is not None:
+                self._note_response(frame)
+                return frame
+            data = self._sock.recv(_RECV_BYTES)
+            if not data:
+                raise ConnectionResetError("server closed the connection")
+            for frame in self._decoder.feed(data):
+                self._stash[frame.request_id] = frame
+
+    def _request(
+        self,
+        op: int,
+        payload: bytes,
+        *,
+        min_generation: Optional[int] = None,
+        idempotent: bool = True,
+    ) -> Frame:
+        """One request/response round trip with reconnect + overload retry."""
+        overloads = 0
+        delays = self._backoff_delays()
+        dial_attempt = 0
+        while True:
+            try:
+                request_id = self._send_frame(op, payload, min_generation)
+                frame = self._recv_response(request_id)
+            except (OSError, EOFError, ConnectionError):
+                self._drop_connection()
+                if not idempotent:
+                    raise
+                if dial_attempt >= len(delays):
+                    raise
+                time.sleep(delays[dial_attempt])
+                dial_attempt += 1
+                continue
+            try:
+                return wire.raise_for_frame(frame)
+            except OverloadedError as exc:
+                overloads += 1
+                self.overload_retries += 1
+                if overloads > self.max_overload_retries:
+                    raise
+                time.sleep(exc.retry_after or self.backoff_base)
+
+    # -- Verbs ---------------------------------------------------------------
+
+    def query(
+        self, s: int, t: int, *, min_generation: Optional[int] = None
+    ) -> float:
+        """One exact distance over the wire (``Op.QUERY``)."""
+        frame = self._request(
+            Op.QUERY, wire.encode_pair(s, t), min_generation=min_generation
+        )
+        return wire.decode_f64(frame.payload)
+
+    def query_many(
+        self,
+        pairs,
+        *,
+        batch_size: int = 4096,
+        window: int = 8,
+        min_generation: Optional[int] = None,
+        with_generations: bool = False,
+    ):
+        """Bulk exact distances, pipelined (``Op.BATCH``).
+
+        The pair array is split into ``batch_size`` chunks with up to
+        ``window`` frames in flight; answers are reassembled in
+        submission order. With ``with_generations=True`` returns
+        ``(distances, generations)`` where ``generations[i]`` is the
+        snapshot generation that answered pair ``i`` — the hook load
+        generators use to assert byte-identity across a mid-run
+        rollover.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if len(pairs) == 0:
+            empty = np.empty(0, dtype=float)
+            return (empty, np.empty(0, dtype=np.int64)) if with_generations else empty
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        chunks = [
+            pairs[lo : lo + batch_size]
+            for lo in range(0, len(pairs), batch_size)
+        ]
+        results: List[Optional[np.ndarray]] = [None] * len(chunks)
+        generations = np.zeros(len(chunks), dtype=np.int64)
+        overloads = 0
+        delays = self._backoff_delays()
+        dial_attempt = 0
+        todo = list(range(len(chunks)))
+        while todo or any(r is None for r in results):
+            inflight: Dict[int, int] = {}
+            try:
+                while todo or inflight:
+                    while todo and len(inflight) < window:
+                        index = todo.pop(0)
+                        request_id = self._send_frame(
+                            Op.BATCH,
+                            wire.encode_pairs(chunks[index]),
+                            min_generation,
+                        )
+                        inflight[request_id] = index
+                    request_id = next(iter(inflight))
+                    frame = self._recv_response(request_id)
+                    index = inflight.pop(request_id)
+                    try:
+                        wire.raise_for_frame(frame)
+                    except OverloadedError as exc:
+                        overloads += 1
+                        self.overload_retries += 1
+                        if overloads > self.max_overload_retries:
+                            raise
+                        time.sleep(exc.retry_after or self.backoff_base)
+                        todo.append(index)
+                        continue
+                    results[index] = wire.decode_distances(frame.payload)
+                    generations[index] = frame.generation
+            except (OSError, EOFError, ConnectionError):
+                # Reads are idempotent: reconnect and re-send whatever
+                # was unanswered (stale in-flight ids died with the
+                # connection — the decoder and stash were reset).
+                self._drop_connection()
+                if dial_attempt >= len(delays):
+                    raise
+                time.sleep(delays[dial_attempt])
+                dial_attempt += 1
+                todo = [i for i, r in enumerate(results) if r is None]
+        distances = np.concatenate([np.asarray(r, dtype=float) for r in results])
+        if with_generations:
+            per_pair = np.concatenate(
+                [
+                    np.full(len(chunk), generations[i], dtype=np.int64)
+                    for i, chunk in enumerate(chunks)
+                ]
+            )
+            return distances, per_pair
+        return distances
+
+    def insert_edge(self, u: int, v: int) -> int:
+        """Insert an edge over the wire; returns the affected-landmark count.
+
+        Never auto-retried on connection loss (the update may already
+        have applied); the caller decides how to recover.
+        """
+        frame = self._request(
+            Op.INSERT_EDGE, wire.encode_pair(u, v), idempotent=False
+        )
+        return wire.decode_u64(frame.payload)
+
+    def delete_edge(self, u: int, v: int) -> int:
+        """Delete an edge over the wire; same contract as :meth:`insert_edge`."""
+        frame = self._request(
+            Op.DELETE_EDGE, wire.encode_pair(u, v), idempotent=False
+        )
+        return wire.decode_u64(frame.payload)
+
+    def stats(self) -> Dict:
+        """The server's :meth:`~repro.serving.net.server.NetServer.stats`."""
+        frame = self._request(Op.STATS, b"")
+        return json.loads(frame.payload.decode("utf-8"))
+
+    def health(self) -> Dict:
+        """Liveness probe: generation, ingress occupancy, uptime."""
+        frame = self._request(Op.HEALTH, b"")
+        return json.loads(frame.payload.decode("utf-8"))
+
+
+class AsyncNetClient(_ClientBase):
+    """Asyncio client: many coroutines, one pipelined connection.
+
+    A background reader task demultiplexes responses to per-request
+    futures, so concurrent ``await client.query(...)`` calls from any
+    number of tasks share the connection without head-of-line blocking
+    on each other's round trips. The surface mirrors
+    :class:`NetClient` (``query`` / ``query_many`` / ``insert_edge`` /
+    ``delete_edge`` / ``stats`` / ``health``), ``await``-ed.
+    """
+
+    def __init__(self, host: str, port: int, **options) -> None:
+        super().__init__(host, port, **options)
+        self._reader = None
+        self._writer = None
+        self._reader_task = None
+        self._pending: Dict[int, "object"] = {}
+
+    async def connect(self) -> "AsyncNetClient":
+        """Dial the server (with backoff); idempotent if connected."""
+        import asyncio
+
+        if self._writer is not None:
+            return self
+        delays = self._backoff_delays()
+        for attempt in range(self.connect_attempts):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError:
+                if attempt >= len(delays):
+                    raise
+                await asyncio.sleep(delays[attempt])
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        """Tear down the connection and the reader task."""
+        import asyncio
+        import contextlib
+
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+            self._writer = None
+            self._reader = None
+        self._fail_pending(ConnectionResetError("client closed"))
+
+    async def __aenter__(self) -> "AsyncNetClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        import asyncio
+
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            while True:
+                data = await self._reader.read(_RECV_BYTES)
+                if not data:
+                    raise ConnectionResetError("server closed the connection")
+                for frame in decoder.feed(data):
+                    future = self._pending.pop(frame.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - fanned out to waiters
+            self._fail_pending(exc)
+
+    async def _roundtrip(
+        self, op: int, payload: bytes, min_generation: Optional[int]
+    ) -> Frame:
+        import asyncio
+
+        await self.connect()
+        request_id = self._take_id()
+        generation = (
+            self.min_generation if min_generation is None else min_generation
+        )
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(
+            wire.encode_frame(op, request_id, generation, payload)
+        )
+        await self._writer.drain()
+        self.sent += 1
+        frame = await asyncio.wait_for(future, self.timeout)
+        self._note_response(frame)
+        return frame
+
+    async def _request(
+        self,
+        op: int,
+        payload: bytes,
+        *,
+        min_generation: Optional[int] = None,
+        idempotent: bool = True,
+    ) -> Frame:
+        import asyncio
+
+        overloads = 0
+        delays = self._backoff_delays()
+        dial_attempt = 0
+        while True:
+            try:
+                frame = await self._roundtrip(op, payload, min_generation)
+            except (OSError, EOFError, ConnectionError):
+                await self.close()
+                self.reconnects += 1
+                if not idempotent or dial_attempt >= len(delays):
+                    raise
+                await asyncio.sleep(delays[dial_attempt])
+                dial_attempt += 1
+                continue
+            try:
+                return wire.raise_for_frame(frame)
+            except OverloadedError as exc:
+                overloads += 1
+                self.overload_retries += 1
+                if overloads > self.max_overload_retries:
+                    raise
+                await asyncio.sleep(exc.retry_after or self.backoff_base)
+
+    async def query(
+        self, s: int, t: int, *, min_generation: Optional[int] = None
+    ) -> float:
+        """One exact distance over the wire (``Op.QUERY``)."""
+        frame = await self._request(
+            Op.QUERY, wire.encode_pair(s, t), min_generation=min_generation
+        )
+        return wire.decode_f64(frame.payload)
+
+    async def query_many(
+        self,
+        pairs,
+        *,
+        batch_size: int = 4096,
+        min_generation: Optional[int] = None,
+    ) -> np.ndarray:
+        """Bulk exact distances; chunks pipeline concurrently."""
+        import asyncio
+
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if len(pairs) == 0:
+            return np.empty(0, dtype=float)
+        chunks = [
+            pairs[lo : lo + batch_size]
+            for lo in range(0, len(pairs), batch_size)
+        ]
+        frames = await asyncio.gather(
+            *(
+                self._request(
+                    Op.BATCH,
+                    wire.encode_pairs(chunk),
+                    min_generation=min_generation,
+                )
+                for chunk in chunks
+            )
+        )
+        return np.concatenate(
+            [wire.decode_distances(f.payload) for f in frames]
+        )
+
+    async def insert_edge(self, u: int, v: int) -> int:
+        """Insert an edge over the wire (never auto-retried)."""
+        frame = await self._request(
+            Op.INSERT_EDGE, wire.encode_pair(u, v), idempotent=False
+        )
+        return wire.decode_u64(frame.payload)
+
+    async def delete_edge(self, u: int, v: int) -> int:
+        """Delete an edge over the wire (never auto-retried)."""
+        frame = await self._request(
+            Op.DELETE_EDGE, wire.encode_pair(u, v), idempotent=False
+        )
+        return wire.decode_u64(frame.payload)
+
+    async def stats(self) -> Dict:
+        """The server's stats dict, fetched over the wire."""
+        frame = await self._request(Op.STATS, b"")
+        return json.loads(frame.payload.decode("utf-8"))
+
+    async def health(self) -> Dict:
+        """Liveness probe: generation, ingress occupancy, uptime."""
+        frame = await self._request(Op.HEALTH, b"")
+        return json.loads(frame.payload.decode("utf-8"))

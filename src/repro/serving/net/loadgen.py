@@ -1,0 +1,437 @@
+"""Load generator for the network front door (``repro net-bench``).
+
+Drives a live :class:`~repro.serving.net.server.NetServer` with a
+sustained mixed read/write workload and proves the two properties the
+front door exists for:
+
+* **Byte-identity per generation.** Every wire response carries the
+  snapshot generation that answered it; the harness checks each batch
+  against an in-process ``query_many`` oracle *of that exact
+  generation* — so answers are asserted bitwise-correct even while the
+  serving snapshot changes underneath the load.
+* **Zero-downtime rollover.** Mid-run, a writer thread repairs its
+  dynamic oracle (edge inserts — the write half of the workload) and
+  publishes new generations through the durable
+  :class:`~repro.core.serialization.SnapshotSpool`; the server drains
+  and swaps while reader threads keep hammering. The run asserts zero
+  failed requests across the swap.
+
+The same harness powers ``benchmarks/bench_net.py`` (which records a
+QPS/p50/p99-per-round curve to ``benchmarks/results/net.txt``), the CLI
+``repro net-bench``, and CI's net-smoke job. An optional reconnect
+phase restarts the server on the same port mid-harness and reuses the
+existing clients, exercising the capped-exponential-backoff reconnect
+path end to end.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["run_net_bench"]
+
+
+def _pick_new_edges(graph, rng: np.random.Generator, count: int) -> List:
+    """Deterministically sample ``count`` vertex pairs not yet edges."""
+    edges = []
+    n = graph.num_vertices
+    have = set()
+    while len(edges) < count:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u == v or graph.has_edge(u, v) or (u, v) in have or (v, u) in have:
+            continue
+        have.add((u, v))
+        edges.append((u, v))
+    return edges
+
+
+class _ReaderResult:
+    """One reader thread's recorded batches and failures."""
+
+    __slots__ = ("rounds", "failures")
+
+    def __init__(self) -> None:
+        #: list of (round_index, pool_indices, distances, generations,
+        #: latency_seconds)
+        self.rounds: List[tuple] = []
+        self.failures: List[BaseException] = []
+
+
+def run_net_bench(
+    *,
+    n: int = 2000,
+    degree: int = 3,
+    landmarks: int = 16,
+    pool_size: int = 400,
+    readers: int = 4,
+    rounds: int = 24,
+    batch_size: int = 64,
+    rollovers: int = 2,
+    edges_per_rollover: int = 3,
+    shards: Optional[int] = None,
+    kernel: Optional[str] = None,
+    worker_threads: int = 2,
+    max_queue: int = 1024,
+    poll_s: float = 0.05,
+    reconnect_phase: bool = True,
+    seed: int = 0,
+    out=None,
+    verbose: bool = True,
+) -> Dict:
+    """Run the mixed read/write wire benchmark; return the report dict.
+
+    Builds an HL oracle on a synthetic BA graph, publishes generation 0
+    into a spool, serves it through a :class:`NetServer` with a
+    rollover watcher, then runs ``readers`` client threads (each
+    issuing ``rounds`` pipelined BATCH requests of ``batch_size`` pairs
+    from a fixed pool) while a writer thread performs ``rollovers``
+    repair+publish cycles mid-load. Asserts (into the report, raising
+    :class:`~repro.errors.ReproError` on violation):
+
+    * zero failed requests (overload rejections are retried by the
+      client and counted, not failed);
+    * every response byte-identical to the in-process ``query_many``
+      answer of the generation that served it;
+    * at least ``rollovers`` generation swaps observed mid-load;
+    * client-side sent counters reconcile with the server's per-client
+      accepted+rejected accounting.
+
+    Args:
+        out: optional path; when given the human-readable report lines
+            are also written there (``benchmarks/results/net.txt``).
+        reconnect_phase: restart the server on the same port and drive
+            one more round through the *same* clients, exercising
+            reconnect-with-backoff; answers re-asserted.
+        verbose: print the report lines as they are produced.
+    """
+    from repro.api.factory import build_oracle, open_oracle
+    from repro.core.serialization import SnapshotSpool, load_oracle
+    from repro.graphs.generators import barabasi_albert_graph
+    from repro.graphs.sampling import sample_vertex_pairs
+    from repro.serving.net.client import NetClient
+    from repro.serving.net.server import NetServer, SnapshotRollover
+
+    lines: List[str] = []
+
+    def say(text: str) -> None:
+        """Record a report line (and echo it when verbose)."""
+        lines.append(text)
+        if verbose:
+            print(text)
+
+    rng = np.random.default_rng(seed)
+    graph = barabasi_albert_graph(n, degree, seed=7, name="net-bench")
+    base = build_oracle(graph, "hl", num_landmarks=landmarks, kernel=kernel)
+    pool = sample_vertex_pairs(graph, pool_size, seed=seed)
+
+    spool_dir = tempfile.mkdtemp(prefix="repro-net-bench-")
+    spool = SnapshotSpool(spool_dir)
+    gen0 = spool.publish(base, graph=True)
+
+    # The writer's dynamic mirror (starts at generation-0 state) and the
+    # per-generation in-process ground truth.
+    mirror = open_oracle(graph, index=gen0, dynamic=True)
+    expected: Dict[int, np.ndarray] = {1: base.query_many(pool)}
+
+    backend = load_oracle(graph, gen0, mmap=True)
+    if kernel is not None:
+        backend.set_kernel(kernel)
+    rollover = SnapshotRollover(
+        spool.directory, graph=graph, poll_s=poll_s, shards=shards,
+        kernel=kernel,
+    )
+    server = NetServer(
+        backend,
+        rollover=rollover,
+        snapshot=gen0,
+        owns_backend=True,
+        max_queue=max_queue,
+        worker_threads=worker_threads,
+    )
+    host, port = server.serve_in_thread()
+    say(
+        f"net-bench: n={n} k={landmarks} pool={pool_size} readers={readers} "
+        f"rounds={rounds} batch={batch_size} rollovers={rollovers} "
+        f"shards={shards or 1} addr={host}:{port}"
+    )
+
+    progress = {"rounds_done": 0}
+    progress_lock = threading.Lock()
+    writer_done = threading.Event()
+    results = [_ReaderResult() for _ in range(readers)]
+    clients = [NetClient(host, port) for _ in range(readers)]
+    writer_failures: List[BaseException] = []
+    swap_rounds: List[int] = []
+
+    def reader_main(index: int) -> None:
+        """One reader client: pipelined batches until the writer is done."""
+        client = clients[index]
+        record = results[index]
+        reader_rng = np.random.default_rng(seed + 1000 + index)
+        try:
+            round_index = 0
+            # Run the configured rounds, then keep the load going until
+            # the writer has driven every rollover — this is what makes
+            # the swaps land *mid-load* regardless of relative speed.
+            while round_index < rounds or not writer_done.is_set():
+                if round_index >= rounds * 200:  # runaway guard
+                    break
+                idxs = reader_rng.integers(0, len(pool), size=batch_size)
+                t0 = time.perf_counter()
+                distances, gens = client.query_many(
+                    pool[idxs], batch_size=batch_size, with_generations=True
+                )
+                latency = time.perf_counter() - t0
+                record.rounds.append(
+                    (round_index, idxs, distances, gens, latency)
+                )
+                with progress_lock:
+                    progress["rounds_done"] += 1
+                round_index += 1
+        except BaseException as exc:  # noqa: BLE001 - reported as a failure
+            record.failures.append(exc)
+
+    def writer_main() -> None:
+        """The write half: repair + publish, waiting for each swap."""
+        probe = NetClient(host, port)
+        try:
+            total_rounds = readers * rounds
+            for r in range(1, rollovers + 1):
+                # Stagger publishes across the run so every swap lands
+                # mid-load, not before or after it.
+                threshold = (r * total_rounds) // (rollovers + 1)
+                while True:
+                    with progress_lock:
+                        done = progress["rounds_done"]
+                    if done >= threshold:
+                        break
+                    time.sleep(0.002)
+                for u, v in _pick_new_edges(
+                    mirror.graph, rng, edges_per_rollover
+                ):
+                    mirror.insert_edge(u, v)
+                expected[r + 1] = mirror.query_many(pool)
+                spool.publish(mirror, graph=True)
+                deadline = time.monotonic() + 30.0
+                while probe.health()["generation"] < r + 1:
+                    if time.monotonic() > deadline:
+                        raise ReproError(
+                            f"rollover {r} not promoted within 30s"
+                        )
+                    time.sleep(poll_s)
+                with progress_lock:
+                    swap_rounds.append(progress["rounds_done"])
+        except BaseException as exc:  # noqa: BLE001 - reported as a failure
+            writer_failures.append(exc)
+        finally:
+            writer_done.set()
+            probe.close()
+
+    threads = [
+        threading.Thread(target=reader_main, args=(i,), name=f"net-reader-{i}")
+        for i in range(readers)
+    ]
+    writer = threading.Thread(target=writer_main, name="net-writer")
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    writer.start()
+    for t in threads:
+        t.join()
+    writer.join()
+    wall = time.perf_counter() - wall_start
+
+    server_stats = server.stats()
+
+    # -- Verification ---------------------------------------------------------
+    failures = [exc for r in results for exc in r.failures] + writer_failures
+    total_pairs = 0
+    mismatched = 0
+    generations_seen = set()
+    per_round: Dict[int, List[tuple]] = {}
+    for record in results:
+        for round_index, idxs, distances, gens, latency in record.rounds:
+            total_pairs += len(idxs)
+            for g in np.unique(gens):
+                generations_seen.add(int(g))
+                mask = gens == g
+                truth = expected.get(int(g))
+                if truth is None or not np.array_equal(
+                    distances[mask], truth[idxs[mask]]
+                ):
+                    mismatched += int(mask.sum())
+            per_round.setdefault(round_index, []).append(
+                (latency, len(idxs), set(int(g) for g in np.unique(gens)))
+            )
+
+    # The QPS / p50 / p99 curve, per reader round (the rollover is
+    # visible in the generation column). Long runs are strided down to
+    # ~24 rows, but every round where the generation set changes is
+    # always shown so each swap appears in the curve.
+    round_ids = sorted(per_round)
+    gen_of = {
+        ri: sorted(set().union(*(e[2] for e in per_round[ri])))
+        for ri in round_ids
+    }
+    stride = max(1, len(round_ids) // 24)
+    shown = set(round_ids[::stride]) | {round_ids[-1]}
+    for pos in range(1, len(round_ids)):
+        if gen_of[round_ids[pos]] != gen_of[round_ids[pos - 1]]:
+            shown.add(round_ids[pos])
+    say("round  requests      QPS    p50_ms    p99_ms  generations")
+    for round_index in sorted(shown):
+        entries = per_round[round_index]
+        lats = np.array([e[0] for e in entries])
+        requests = sum(e[1] for e in entries)
+        gens = sorted(set().union(*(e[2] for e in entries)))
+        qps = requests / max(lats.mean(), 1e-9)
+        say(
+            f"{round_index:5d}  {requests:8d}  {qps:7,.0f}  "
+            f"{np.percentile(lats, 50) * 1e3:8.2f}  "
+            f"{np.percentile(lats, 99) * 1e3:8.2f}  {gens}"
+        )
+
+    all_lats = np.array(
+        [lat for record in results for (_, _, _, _, lat) in record.rounds]
+    )
+    overall_qps = total_pairs / wall if wall else float("inf")
+    retries = sum(c.overload_retries for c in clients)
+    say(
+        f"total: {total_pairs} pairs in {wall:.2f}s = {overall_qps:,.0f} "
+        f"pair/s; batch p50={np.percentile(all_lats, 50) * 1e3:.2f}ms "
+        f"p99={np.percentile(all_lats, 99) * 1e3:.2f}ms; "
+        f"overload_retries={retries}"
+    )
+    say(
+        f"rollover: {server_stats['rollovers']} swaps "
+        f"(generations seen: {sorted(generations_seen)}; "
+        f"swap landed after reader-rounds {swap_rounds}); "
+        f"failed requests: {len(failures)}"
+    )
+    say(
+        f"byte-identity: {total_pairs - mismatched}/{total_pairs} pairs "
+        f"match the in-process query_many answer of their generation"
+    )
+
+    # Client/server accounting reconciliation. The per-peer ledgers must
+    # sum to the server totals, and every frame our reader clients sent
+    # must appear there (the writer's health probe adds frames on top,
+    # so the ledger is >= the reader count, never below it).
+    sent = sum(c.sent for c in clients)
+    ledger = sum(
+        cs["accepted"] + cs["rejected"]
+        for cs in server_stats["clients"].values()
+    )
+    accounting_ok = (
+        server_stats["accepted"] + server_stats["rejected"] == ledger
+        and ledger >= sent
+    )
+    say(
+        f"accounting: reader frames sent={sent}, server ledger "
+        f"accepted+rejected={ledger} (probe included) -> "
+        f"{'OK' if accounting_ok else 'MISMATCH'}"
+    )
+
+    # -- Reconnect phase ------------------------------------------------------
+    reconnect_ok = None
+    reconnects = 0
+    if reconnect_phase and not failures:
+        server.shutdown()
+        latest = spool.latest()
+        new_backend = rollover.load(latest)
+        final_generation = max(expected)
+        server = NetServer(
+            new_backend,
+            snapshot=latest,
+            rollover=rollover,
+            generation=final_generation,
+            owns_backend=True,
+            max_queue=max_queue,
+            worker_threads=worker_threads,
+        )
+        server.host, server.port = host, port
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                server.serve_in_thread()
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        reconnect_ok = True
+        truth = expected[final_generation]
+        idxs = np.arange(0, len(pool), max(1, len(pool) // batch_size))
+        for client in clients:
+            distances, gens = client.query_many(
+                pool[idxs], with_generations=True
+            )
+            if not np.array_equal(distances, truth[idxs]):
+                reconnect_ok = False
+        reconnects = sum(c.reconnects for c in clients)
+        say(
+            f"reconnect: server restarted on {host}:{port}; "
+            f"{reconnects} client reconnects, answers "
+            f"{'exact' if reconnect_ok else 'MISMATCHED'}"
+        )
+
+    for client in clients:
+        client.close()
+    server.shutdown()
+    spool.close(force=True)
+
+    report = {
+        "requests": total_pairs,
+        "qps": overall_qps,
+        "p50_ms": float(np.percentile(all_lats, 50) * 1e3),
+        "p99_ms": float(np.percentile(all_lats, 99) * 1e3),
+        "failures": len(failures),
+        "failure_examples": [repr(e) for e in failures[:3]],
+        "mismatched": mismatched,
+        "rollovers": server_stats["rollovers"],
+        "generations_seen": sorted(generations_seen),
+        "overload_retries": retries,
+        "accounting_ok": accounting_ok,
+        "reconnect_ok": reconnect_ok,
+        "reconnects": reconnects,
+        "lines": lines,
+    }
+
+    if out is not None:
+        from pathlib import Path
+
+        Path(out).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        say(f"recorded -> {out}")
+
+    problems = []
+    if failures:
+        problems.append(
+            f"{len(failures)} failed requests (first: {failures[0]!r})"
+        )
+    if mismatched:
+        problems.append(f"{mismatched} pairs differ from in-process answers")
+    if server_stats["rollovers"] < rollovers:
+        problems.append(
+            f"only {server_stats['rollovers']}/{rollovers} rollovers promoted"
+        )
+    want_gens = {1, rollovers + 1} if rollovers else {1}
+    if not want_gens <= generations_seen:
+        problems.append(
+            f"load did not span the rollovers: saw generations "
+            f"{sorted(generations_seen)}, wanted at least {sorted(want_gens)}"
+        )
+    if not accounting_ok:
+        problems.append("client/server accounting mismatch")
+    if reconnect_ok is False:
+        problems.append("reconnect phase answers mismatched")
+    if problems:
+        raise ReproError("net-bench failed: " + "; ".join(problems))
+    return report

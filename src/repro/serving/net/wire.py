@@ -1,0 +1,422 @@
+"""The wire protocol: length-prefixed, versioned binary frames (sans-io).
+
+This module is pure encode/decode — no sockets, no asyncio — so the
+exact same code frames requests on the synchronous client, the asyncio
+client, and the server (:mod:`repro.serving.net.server`). Keeping the
+protocol sans-io is what makes it testable byte-for-byte without a
+network in the loop.
+
+Frame format
+------------
+
+Every message (request or response) is one *frame*::
+
+    u32  length        # bytes of body that follow (little-endian)
+    body:
+      u16  magic       # 0x5250 ("RP")
+      u8   version     # PROTOCOL_VERSION (currently 1)
+      u8   kind        # request opcode (Op.*) or response status (Status.*)
+      u32  request_id  # client-assigned, echoed verbatim in the response
+      u64  generation  # request: minimum acceptable snapshot generation
+                       #   (0 = any); response: the generation that answered
+      payload          # kind-specific, see below
+
+``request_id`` is what makes the protocol *pipelined*: a client may
+have any number of requests in flight and match responses by id —
+the server is free to answer out of order. ``generation`` gives
+read-your-writes clients a staleness bound: a request whose minimum
+generation exceeds the serving one is rejected with
+``Status.STALE_GENERATION`` instead of silently answering from the old
+snapshot; every response reports the generation it was answered at, so
+callers can attribute each answer to an exact snapshot state.
+
+Payload layouts (all little-endian)::
+
+    Op.QUERY / Op.INSERT_EDGE / Op.DELETE_EDGE:   i64 s, i64 t
+    Op.BATCH:                                     u32 count, count x (i64, i64)
+    Op.STATS / Op.HEALTH:                         empty
+    Status.OK for QUERY:                          f64 distance
+    Status.OK for BATCH:                          u32 count, count x f64
+    Status.OK for INSERT/DELETE:                  u64 affected-landmark count
+    Status.OK for STATS / HEALTH:                 UTF-8 JSON object
+    any error status:                             f64 retry_after, UTF-8 message
+
+Status codes map 1:1 onto the library's typed exceptions in both
+directions (:func:`status_for_error` / :func:`error_for_status`), so a
+:class:`~repro.errors.VertexError` raised inside the server surfaces as
+a ``GraphError`` at the remote caller, and an admission-control
+rejection arrives as :class:`~repro.errors.OverloadedError` carrying
+the server's ``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    CapabilityError,
+    GraphError,
+    NotBuiltError,
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    ServiceClosedError,
+    StaleGenerationError,
+    VertexError,
+)
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "Op",
+    "PROTOCOL_VERSION",
+    "Status",
+    "decode_distances",
+    "decode_error",
+    "decode_f64",
+    "decode_pair",
+    "decode_pairs",
+    "decode_u64",
+    "encode_distances",
+    "encode_error",
+    "encode_f64",
+    "encode_frame",
+    "encode_pair",
+    "encode_pairs",
+    "encode_u64",
+    "error_for_status",
+    "raise_for_frame",
+    "status_for_error",
+]
+
+MAGIC = 0x5250  # "RP"
+PROTOCOL_VERSION = 1
+
+#: Default upper bound on one frame's body. Protects both sides from a
+#: corrupt length prefix allocating gigabytes; the server additionally
+#: uses it as an admission-control unit (a batch larger than this must
+#: be split into multiple pipelined frames by the client).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("<HBBIQ")  # magic, version, kind, request_id, generation
+_LENGTH = struct.Struct("<I")
+_PAIR = struct.Struct("<qq")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+HEADER_BYTES = _HEADER.size
+
+
+class Op:
+    """Request opcodes (the ``kind`` byte of a request frame)."""
+
+    QUERY = 1
+    BATCH = 2
+    INSERT_EDGE = 3
+    DELETE_EDGE = 4
+    STATS = 5
+    HEALTH = 6
+
+    ALL = frozenset({QUERY, BATCH, INSERT_EDGE, DELETE_EDGE, STATS, HEALTH})
+
+
+class Status:
+    """Response status codes (the ``kind`` byte of a response frame).
+
+    Disjoint from the opcode range so a frame's direction is evident
+    from its kind alone.
+    """
+
+    OK = 64
+    PROTOCOL_ERROR = 65
+    OVERLOADED = 66
+    STALE_GENERATION = 67
+    BAD_REQUEST = 68
+    UNSUPPORTED = 69
+    SHUTTING_DOWN = 70
+    INTERNAL = 71
+
+    ALL = frozenset(
+        {
+            OK,
+            PROTOCOL_ERROR,
+            OVERLOADED,
+            STALE_GENERATION,
+            BAD_REQUEST,
+            UNSUPPORTED,
+            SHUTTING_DOWN,
+            INTERNAL,
+        }
+    )
+
+
+class Frame(NamedTuple):
+    """One decoded frame: kind, request id, generation, raw payload."""
+
+    kind: int
+    request_id: int
+    generation: int
+    payload: bytes
+
+
+def encode_frame(
+    kind: int, request_id: int, generation: int, payload: bytes = b""
+) -> bytes:
+    """Serialize one frame (length prefix + header + payload) to bytes."""
+    body = _HEADER.pack(MAGIC, PROTOCOL_VERSION, kind, request_id, generation)
+    return _LENGTH.pack(len(body) + len(payload)) + body + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed raw bytes, collect whole frames.
+
+    Both clients and the server own one decoder per connection and feed
+    it whatever the transport delivered; :meth:`feed` returns every
+    frame completed by that chunk (zero or more — TCP does not respect
+    frame boundaries).
+
+    Raises:
+        ProtocolError: on bad magic, an unsupported version, an unknown
+            kind byte, or a length prefix exceeding ``max_frame_bytes``
+            (a corrupt or hostile peer; the connection must be dropped —
+            the stream offset is no longer trustworthy).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume ``data``; return the frames it completed, in order."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next_frame(self) -> Optional[Frame]:
+        if len(self._buffer) < _LENGTH.size:
+            return None
+        (body_len,) = _LENGTH.unpack_from(self._buffer, 0)
+        if body_len < HEADER_BYTES:
+            raise ProtocolError(
+                f"frame body of {body_len} bytes is shorter than the "
+                f"{HEADER_BYTES}-byte header"
+            )
+        if body_len > self.max_frame_bytes:
+            raise ProtocolError(
+                f"frame body of {body_len} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        if len(self._buffer) < _LENGTH.size + body_len:
+            return None
+        body = bytes(self._buffer[_LENGTH.size : _LENGTH.size + body_len])
+        del self._buffer[: _LENGTH.size + body_len]
+        magic, version, kind, request_id, generation = _HEADER.unpack_from(body, 0)
+        if magic != MAGIC:
+            raise ProtocolError(f"bad magic 0x{magic:04x} (want 0x{MAGIC:04x})")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version} "
+                f"(this build speaks {PROTOCOL_VERSION})"
+            )
+        if kind not in Op.ALL and kind not in Status.ALL:
+            raise ProtocolError(f"unknown frame kind {kind}")
+        return Frame(kind, request_id, generation, body[HEADER_BYTES:])
+
+
+# -- Payload codecs ----------------------------------------------------------
+
+
+def encode_pair(s: int, t: int) -> bytes:
+    """Payload of a QUERY / INSERT_EDGE / DELETE_EDGE request."""
+    return _PAIR.pack(int(s), int(t))
+
+
+def decode_pair(payload: bytes) -> Tuple[int, int]:
+    """Inverse of :func:`encode_pair`.
+
+    Raises:
+        ProtocolError: if the payload is not exactly two i64s.
+    """
+    if len(payload) != _PAIR.size:
+        raise ProtocolError(
+            f"pair payload must be {_PAIR.size} bytes, got {len(payload)}"
+        )
+    return _PAIR.unpack(payload)
+
+
+def encode_pairs(pairs) -> bytes:
+    """Payload of a BATCH request: u32 count + count x (i64, i64)."""
+    array = np.ascontiguousarray(pairs, dtype="<i8")
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ProtocolError(
+            f"batch payload needs an (n, 2) pair array, got shape {array.shape}"
+        )
+    return _U32.pack(array.shape[0]) + array.tobytes()
+
+
+def decode_pairs(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_pairs`; returns an ``(n, 2)`` i64 array.
+
+    Raises:
+        ProtocolError: if the count does not match the payload length.
+    """
+    if len(payload) < _U32.size:
+        raise ProtocolError("batch payload truncated before its count")
+    (count,) = _U32.unpack_from(payload, 0)
+    body = payload[_U32.size :]
+    if len(body) != count * _PAIR.size:
+        raise ProtocolError(
+            f"batch payload advertises {count} pairs "
+            f"({count * _PAIR.size} bytes) but carries {len(body)} bytes"
+        )
+    return np.frombuffer(body, dtype="<i8").reshape(count, 2).astype(np.int64)
+
+
+def encode_distances(distances) -> bytes:
+    """Payload of an OK response to BATCH: u32 count + count x f64."""
+    array = np.ascontiguousarray(distances, dtype="<f8")
+    return _U32.pack(array.shape[0]) + array.tobytes()
+
+
+def decode_distances(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_distances`; returns a float64 vector.
+
+    Raises:
+        ProtocolError: if the count does not match the payload length.
+    """
+    if len(payload) < _U32.size:
+        raise ProtocolError("distance payload truncated before its count")
+    (count,) = _U32.unpack_from(payload, 0)
+    body = payload[_U32.size :]
+    if len(body) != count * _F64.size:
+        raise ProtocolError(
+            f"distance payload advertises {count} values but carries "
+            f"{len(body)} bytes"
+        )
+    return np.frombuffer(body, dtype="<f8").astype(np.float64)
+
+
+def encode_f64(value: float) -> bytes:
+    """Payload of an OK response to QUERY: one f64."""
+    return _F64.pack(float(value))
+
+
+def decode_f64(payload: bytes) -> float:
+    """Inverse of :func:`encode_f64`."""
+    if len(payload) != _F64.size:
+        raise ProtocolError(
+            f"scalar payload must be {_F64.size} bytes, got {len(payload)}"
+        )
+    return _F64.unpack(payload)[0]
+
+
+def encode_u64(value: int) -> bytes:
+    """Payload of an OK response to INSERT/DELETE: one u64 count."""
+    return _U64.pack(int(value))
+
+
+def decode_u64(payload: bytes) -> int:
+    """Inverse of :func:`encode_u64`."""
+    if len(payload) != _U64.size:
+        raise ProtocolError(
+            f"u64 payload must be {_U64.size} bytes, got {len(payload)}"
+        )
+    return _U64.unpack(payload)[0]
+
+
+def encode_error(message: str, retry_after: float = 0.0) -> bytes:
+    """Payload of any error response: f64 retry_after + UTF-8 message."""
+    return _F64.pack(float(retry_after)) + message.encode("utf-8")
+
+
+def decode_error(payload: bytes) -> Tuple[float, str]:
+    """Inverse of :func:`encode_error`; returns ``(retry_after, message)``."""
+    if len(payload) < _F64.size:
+        raise ProtocolError("error payload truncated before retry_after")
+    (retry_after,) = _F64.unpack_from(payload, 0)
+    return retry_after, payload[_F64.size :].decode("utf-8", "replace")
+
+
+# -- Status <-> exception mapping --------------------------------------------
+
+#: Exception class -> wire status, most specific first (checked with
+#: isinstance, so order matters: OverloadedError before ReproError).
+_ERROR_TO_STATUS = (
+    (ProtocolError, Status.PROTOCOL_ERROR),
+    (OverloadedError, Status.OVERLOADED),
+    (StaleGenerationError, Status.STALE_GENERATION),
+    (VertexError, Status.BAD_REQUEST),
+    (GraphError, Status.BAD_REQUEST),
+    (ValueError, Status.BAD_REQUEST),
+    (CapabilityError, Status.UNSUPPORTED),
+    (NotImplementedError, Status.UNSUPPORTED),
+    (NotBuiltError, Status.UNSUPPORTED),
+    (ServiceClosedError, Status.SHUTTING_DOWN),
+)
+
+
+def status_for_error(exc: BaseException) -> Tuple[int, float]:
+    """Map an exception to ``(wire status, retry_after)``.
+
+    The inverse of :func:`error_for_status`: every library exception
+    lands on a specific status (unknown ones degrade to
+    ``Status.INTERNAL``), and the overload hint travels with it.
+    """
+    for cls, status in _ERROR_TO_STATUS:
+        if isinstance(exc, cls):
+            retry_after = getattr(exc, "retry_after", 0.0)
+            return status, float(retry_after)
+    return Status.INTERNAL, 0.0
+
+
+def error_for_status(
+    status: int, message: str, retry_after: float = 0.0, generation: int = 0
+) -> ReproError:
+    """Reconstruct the typed exception a wire error status stands for.
+
+    The inverse of :func:`status_for_error`: clients raise the same
+    exception family the server-side failure belonged to, so remote
+    callers catch :class:`~repro.errors.OverloadedError` (with its
+    ``retry_after``) or :class:`~repro.errors.GraphError` exactly as
+    in-process callers do.
+    """
+    if status == Status.PROTOCOL_ERROR:
+        return ProtocolError(message)
+    if status == Status.OVERLOADED:
+        return OverloadedError(message, retry_after=retry_after)
+    if status == Status.STALE_GENERATION:
+        return StaleGenerationError(message, generation=generation)
+    if status == Status.BAD_REQUEST:
+        return GraphError(message)
+    if status == Status.UNSUPPORTED:
+        return CapabilityError(message)
+    if status == Status.SHUTTING_DOWN:
+        return ServiceClosedError(message)
+    return ReproError(message)
+
+
+def raise_for_frame(frame: Frame) -> Frame:
+    """Return ``frame`` if it is an OK response; raise its error otherwise.
+
+    Raises:
+        ProtocolError: if the frame is not a response frame at all.
+        ReproError: the typed exception for any error status (see
+            :func:`error_for_status`).
+    """
+    if frame.kind == Status.OK:
+        return frame
+    if frame.kind not in Status.ALL:
+        raise ProtocolError(
+            f"expected a response frame, got request opcode {frame.kind}"
+        )
+    retry_after, message = decode_error(frame.payload)
+    raise error_for_status(frame.kind, message, retry_after, frame.generation)

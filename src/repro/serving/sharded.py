@@ -70,6 +70,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from pathlib import Path
@@ -954,8 +955,17 @@ class ShardedDistanceService:
 
     # -- Observability -------------------------------------------------------
 
-    def stats(self) -> Dict:
+    def stats(self, timeout_s: float = 5.0) -> Dict:
         """Serving statistics.
+
+        The per-worker executor report is collected over IPC and is
+        **timeout-bounded**: a shard that does not answer its ``stats``
+        round trip within ``timeout_s`` seconds (hung worker, or one
+        buried under a long bulk task) degrades to ``None`` in
+        ``executor_per_shard`` and its index is named in
+        ``stale_shards`` — one stuck shard can delay this call by at
+        most ``timeout_s``, never block it indefinitely. All locally
+        held counters in the report are always current.
 
         Keys: ``shards``, ``point_queries`` / ``bulk_queries`` /
         ``batches`` (worker round trips on the point path),
@@ -970,8 +980,9 @@ class ShardedDistanceService:
         ``executor_per_shard`` (each worker's live
         :meth:`~repro.serving.QueryExecutor.stats` dict — pool size,
         parallel/sequential batch counts, per-thread utilization —
-        or ``None`` for a dead/poisoned shard) and ``cache`` (the
-        :meth:`QueryCache.stats` dict).
+        or ``None`` for a dead/poisoned/timed-out shard),
+        ``stale_shards`` (indices whose executor report timed out) and
+        ``cache`` (the :meth:`QueryCache.stats` dict).
         """
         per_shard = []
         batches = 0
@@ -987,12 +998,20 @@ class ShardedDistanceService:
             except (ShardError, ServiceClosedError):
                 executor_futures.append(None)
         executor_per_shard = []
-        for future in executor_futures:
+        stale_shards = []
+        deadline = time.perf_counter() + float(timeout_s)
+        for index, future in enumerate(executor_futures):
             if future is None:
                 executor_per_shard.append(None)
                 continue
+            # One shared deadline across shards: the whole collection is
+            # bounded by timeout_s, not timeout_s per hung shard.
+            remaining = max(0.0, deadline - time.perf_counter())
             try:
-                executor_per_shard.append(future.result())
+                executor_per_shard.append(future.result(timeout=remaining))
+            except TimeoutError:
+                executor_per_shard.append(None)
+                stale_shards.append(index)
             except (ShardError, ServiceClosedError):
                 executor_per_shard.append(None)
         with self._stats_lock:
@@ -1011,6 +1030,7 @@ class ShardedDistanceService:
                 "wal_records": 0 if self._wal is None else len(self._wal),
                 "per_shard": per_shard,
                 "executor_per_shard": executor_per_shard,
+                "stale_shards": stale_shards,
                 "cache": self.cache.stats(),
             }
         return stats

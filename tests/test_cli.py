@@ -294,3 +294,42 @@ class TestMethods:
         for name in ("hl", "hl-dyn", "pll", "bibfs", "dijkstra"):
             assert name in out
         assert "snapshot" in out  # capability columns
+
+
+class TestNetCommands:
+    def test_query_remote_against_live_server(self, edgelist, tmp_path, capsys):
+        from repro.api import open_oracle
+        from repro.serving.net import NetServer
+
+        oracle = open_oracle(str(edgelist))
+        with NetServer(oracle).running_in_thread() as (host, port):
+            assert main(
+                ["query", "0", "100", "5", "50", "--remote", f"{host}:{port}"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert f"d(0, 100) = {oracle.query(0, 100):.0f}" in out
+            assert f"d(5, 50) = {oracle.query(5, 50):.0f}" in out
+
+    def test_query_remote_rejects_bad_inputs(self, capsys):
+        assert main(["query", "0", "1", "--remote", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert main(["query", "not-a-vertex", "1", "--remote", "h:1"]) == 2
+        assert "vertex ids" in capsys.readouterr().err
+        assert main(["query", "0", "1", "2", "--remote", "h:1"]) == 2
+        assert "even number" in capsys.readouterr().err
+
+    def test_net_bench_smoke(self, capsys, tmp_path):
+        out_file = tmp_path / "net.txt"
+        assert main(
+            [
+                "net-bench", "--n", "400", "-k", "6", "--readers", "2",
+                "--rounds", "4", "--batch-size", "16", "--rollovers", "1",
+                "--out", str(out_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "failed requests: 0" in out
+        assert "reconnect" in out
+        assert out_file.exists()
+        recorded = out_file.read_text()
+        assert "byte-identity" in recorded and "p50_ms" in recorded

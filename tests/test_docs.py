@@ -34,6 +34,11 @@ AUDITED_MODULES = [
     "src/repro/serving/executor.py",
     "src/repro/serving/service.py",
     "src/repro/serving/sharded.py",
+    "src/repro/serving/net/__init__.py",
+    "src/repro/serving/net/wire.py",
+    "src/repro/serving/net/server.py",
+    "src/repro/serving/net/client.py",
+    "src/repro/serving/net/loadgen.py",
     "src/repro/core/labels.py",
     "src/repro/core/kernels/__init__.py",
     "src/repro/core/kernels/interface.py",
@@ -47,6 +52,7 @@ REQUIRED_DOCS = [
     "docs/architecture.md",
     "docs/paper_map.md",
     "docs/serving.md",
+    "docs/networking.md",
     "docs/durability.md",
     "docs/kernels.md",
     "README.md",

@@ -662,3 +662,77 @@ class TestErrorPaths:
         # poisoned the workers.
         assert sharded.version() == 0
         assert sharded.query(u, v) == 1.0
+
+
+class TestStatsTimeout:
+    """Satellite: the stats IPC verb is timeout-bounded (one hung shard
+    degrades the report to partial, naming the stale shard — it can
+    never block ``stats()`` indefinitely)."""
+
+    @staticmethod
+    def _delay_stats(shard, delay_s: float):
+        """Wrap ``shard._roundtrip`` so its ``stats`` round trip hangs."""
+        import time as _time
+
+        original = shard._roundtrip
+
+        def slow(payload):
+            if payload and payload[0] == "stats":
+                _time.sleep(delay_s)
+            return original(payload)
+
+        shard._roundtrip = slow
+        return original
+
+    def test_hung_shard_degrades_to_partial_report(self, sharded):
+        import time as _time
+
+        baseline = sharded.stats()
+        assert baseline["stale_shards"] == []
+        assert all(e is not None for e in baseline["executor_per_shard"])
+
+        original = self._delay_stats(sharded._workers[0], delay_s=1.5)
+        try:
+            t0 = _time.perf_counter()
+            report = sharded.stats(timeout_s=0.2)
+            elapsed = _time.perf_counter() - t0
+            # Bounded: the hung shard cost at most ~timeout_s, not 1.5s.
+            assert elapsed < 1.0
+            # Partial, and the stale shard is named.
+            assert report["stale_shards"] == [0]
+            assert report["executor_per_shard"][0] is None
+            assert report["executor_per_shard"][1] is not None
+            # Locally held counters are still served in full.
+            assert report["shards"] == 2
+            assert "cache" in report and "per_shard" in report
+        finally:
+            sharded._workers[0]._roundtrip = original
+
+        # The shard was slow, not dead: once it drains, a later stats()
+        # call is complete again and queries still work.
+        _time.sleep(1.6)
+        recovered = sharded.stats()
+        assert recovered["stale_shards"] == []
+        assert all(e is not None for e in recovered["executor_per_shard"])
+
+    def test_shared_deadline_across_multiple_hung_shards(self, sharded):
+        import time as _time
+
+        originals = [
+            self._delay_stats(shard, delay_s=1.5)
+            for shard in sharded._workers
+        ]
+        try:
+            t0 = _time.perf_counter()
+            report = sharded.stats(timeout_s=0.2)
+            elapsed = _time.perf_counter() - t0
+            # One shared deadline: two hung shards still cost ~timeout_s
+            # total, not timeout_s each.
+            assert elapsed < 1.0
+            assert report["stale_shards"] == [0, 1]
+            assert report["executor_per_shard"] == [None, None]
+        finally:
+            for shard, original in zip(sharded._workers, originals):
+                shard._roundtrip = original
+        _time.sleep(1.7)
+        assert sharded.stats()["stale_shards"] == []

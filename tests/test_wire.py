@@ -1,0 +1,244 @@
+"""Unit tests for the sans-io wire protocol (:mod:`repro.serving.net.wire`).
+
+Everything here runs without a socket: frame round trips through the
+incremental decoder (including pathological chunking), every payload
+codec against its inverse, corrupt-input rejection, and the
+bidirectional status-code <-> typed-exception mapping the remote error
+contract rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CapabilityError,
+    GraphError,
+    NotBuiltError,
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    ServiceClosedError,
+    StaleGenerationError,
+    VertexError,
+)
+from repro.serving.net import wire
+from repro.serving.net.wire import Frame, FrameDecoder, Op, Status
+
+
+class TestFraming:
+    def test_single_frame_round_trip(self):
+        data = wire.encode_frame(Op.QUERY, 7, 3, wire.encode_pair(1, 2))
+        frames = FrameDecoder().feed(data)
+        assert frames == [Frame(Op.QUERY, 7, 3, wire.encode_pair(1, 2))]
+
+    def test_multiple_frames_in_one_chunk(self):
+        data = b"".join(
+            wire.encode_frame(Op.HEALTH, i, 0) for i in range(1, 6)
+        )
+        frames = FrameDecoder().feed(data)
+        assert [f.request_id for f in frames] == [1, 2, 3, 4, 5]
+
+    def test_byte_at_a_time_reassembly(self):
+        """TCP respects no frame boundaries; one byte per feed must work."""
+        payload = wire.encode_pairs([(1, 2), (3, 4)])
+        data = wire.encode_frame(Op.BATCH, 9, 5, payload)
+        decoder = FrameDecoder()
+        collected = []
+        for offset in range(len(data)):
+            collected.extend(decoder.feed(data[offset : offset + 1]))
+        assert collected == [Frame(Op.BATCH, 9, 5, payload)]
+
+    def test_split_across_chunks_with_trailing_partial(self):
+        first = wire.encode_frame(Op.QUERY, 1, 0, wire.encode_pair(0, 1))
+        second = wire.encode_frame(Op.QUERY, 2, 0, wire.encode_pair(2, 3))
+        decoder = FrameDecoder()
+        assert decoder.feed(first + second[:5]) == [
+            Frame(Op.QUERY, 1, 0, wire.encode_pair(0, 1))
+        ]
+        assert decoder.feed(second[5:]) == [
+            Frame(Op.QUERY, 2, 0, wire.encode_pair(2, 3))
+        ]
+
+    def test_max_ids_and_generation_width(self):
+        """request_id is a u32 and generation a u64 — full range survives."""
+        data = wire.encode_frame(Status.OK, 0xFFFFFFFF, 2**63, b"")
+        (frame,) = FrameDecoder().feed(data)
+        assert frame.request_id == 0xFFFFFFFF
+        assert frame.generation == 2**63
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(wire.encode_frame(Op.QUERY, 1, 0, b"\0" * 16))
+        data[4] ^= 0xFF  # corrupt the magic inside the body
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(bytes(data))
+
+    def test_unsupported_version_rejected(self):
+        data = bytearray(wire.encode_frame(Op.QUERY, 1, 0, b"\0" * 16))
+        data[6] = 99  # the version byte follows the u16 magic
+        with pytest.raises(ProtocolError, match="version 99"):
+            FrameDecoder().feed(bytes(data))
+
+    def test_unknown_kind_rejected(self):
+        data = bytearray(wire.encode_frame(Op.QUERY, 1, 0, b""))
+        data[7] = 200  # neither an opcode nor a status
+        with pytest.raises(ProtocolError, match="kind 200"):
+            FrameDecoder().feed(bytes(data))
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        huge = wire.encode_frame(Op.BATCH, 1, 0, b"\0" * 128)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(huge)
+
+    def test_short_body_rejected(self):
+        import struct
+
+        with pytest.raises(ProtocolError, match="shorter than"):
+            FrameDecoder().feed(struct.pack("<I", 3) + b"abc")
+
+
+class TestPayloadCodecs:
+    def test_pair_round_trip(self):
+        assert wire.decode_pair(wire.encode_pair(-5, 2**40)) == (-5, 2**40)
+
+    def test_pair_wrong_size_rejected(self):
+        with pytest.raises(ProtocolError, match="pair payload"):
+            wire.decode_pair(b"\0" * 7)
+
+    def test_pairs_round_trip_and_dtype(self):
+        pairs = np.array([[0, 1], [7, 3], [2**33, 5]], dtype=np.int64)
+        out = wire.decode_pairs(wire.encode_pairs(pairs))
+        assert out.dtype == np.int64
+        assert np.array_equal(out, pairs)
+
+    def test_pairs_empty(self):
+        out = wire.decode_pairs(wire.encode_pairs(np.empty((0, 2), np.int64)))
+        assert out.shape == (0, 2)
+
+    def test_pairs_bad_shape_rejected(self):
+        with pytest.raises(ProtocolError, match="shape"):
+            wire.encode_pairs(np.arange(6).reshape(2, 3))
+
+    def test_pairs_length_mismatch_rejected(self):
+        payload = wire.encode_pairs([(1, 2)])
+        with pytest.raises(ProtocolError, match="advertises"):
+            wire.decode_pairs(payload[:-1])
+
+    def test_distances_round_trip_including_inf(self):
+        values = np.array([0.0, 3.0, np.inf, 7.5])
+        out = wire.decode_distances(wire.encode_distances(values))
+        assert np.array_equal(out, values)  # inf == inf holds elementwise
+
+    def test_distances_length_mismatch_rejected(self):
+        payload = wire.encode_distances([1.0, 2.0])
+        with pytest.raises(ProtocolError, match="advertises"):
+            wire.decode_distances(payload + b"\0")
+
+    def test_scalar_codecs(self):
+        assert wire.decode_f64(wire.encode_f64(2.5)) == 2.5
+        assert np.isinf(wire.decode_f64(wire.encode_f64(float("inf"))))
+        assert wire.decode_u64(wire.encode_u64(2**50)) == 2**50
+        with pytest.raises(ProtocolError):
+            wire.decode_f64(b"\0" * 4)
+        with pytest.raises(ProtocolError):
+            wire.decode_u64(b"\0" * 4)
+
+    def test_error_payload_round_trip(self):
+        retry, message = wire.decode_error(wire.encode_error("boom", 0.25))
+        assert retry == 0.25
+        assert message == "boom"
+
+    def test_error_payload_tolerates_bad_utf8(self):
+        payload = wire.encode_error("ok")[:8] + b"\xff\xfe"
+        retry, message = wire.decode_error(payload)
+        assert retry == 0.0 and message  # replaced, not raised
+
+
+class TestStatusMapping:
+    @pytest.mark.parametrize(
+        ("exc", "status"),
+        [
+            (ProtocolError("x"), Status.PROTOCOL_ERROR),
+            (OverloadedError("x"), Status.OVERLOADED),
+            (StaleGenerationError("x"), Status.STALE_GENERATION),
+            (VertexError(5, 3), Status.BAD_REQUEST),
+            (GraphError("x"), Status.BAD_REQUEST),
+            (ValueError("x"), Status.BAD_REQUEST),
+            (CapabilityError("x"), Status.UNSUPPORTED),
+            (NotImplementedError("x"), Status.UNSUPPORTED),
+            (NotBuiltError("x"), Status.UNSUPPORTED),
+            (ServiceClosedError("x"), Status.SHUTTING_DOWN),
+            (RuntimeError("x"), Status.INTERNAL),
+        ],
+    )
+    def test_status_for_error(self, exc, status):
+        assert wire.status_for_error(exc)[0] == status
+
+    def test_overload_hint_travels_with_the_status(self):
+        status, retry = wire.status_for_error(OverloadedError("x", 0.75))
+        assert (status, retry) == (Status.OVERLOADED, 0.75)
+
+    @pytest.mark.parametrize(
+        ("status", "family"),
+        [
+            (Status.PROTOCOL_ERROR, ProtocolError),
+            (Status.OVERLOADED, OverloadedError),
+            (Status.STALE_GENERATION, StaleGenerationError),
+            (Status.BAD_REQUEST, GraphError),
+            (Status.UNSUPPORTED, CapabilityError),
+            (Status.SHUTTING_DOWN, ServiceClosedError),
+            (Status.INTERNAL, ReproError),
+        ],
+    )
+    def test_error_for_status(self, status, family):
+        exc = wire.error_for_status(status, "remote message")
+        assert isinstance(exc, family)
+        assert "remote message" in str(exc)
+
+    def test_mapping_is_bidirectional(self):
+        """server-side exception -> status -> client-side exception lands
+        in the same family (the remote-error contract)."""
+        for exc in (
+            OverloadedError("x", 0.1),
+            StaleGenerationError("x", generation=4),
+            VertexError(5, 3),
+            CapabilityError("x"),
+            ServiceClosedError("x"),
+        ):
+            status, retry = wire.status_for_error(exc)
+            rebuilt = wire.error_for_status(status, str(exc), retry)
+            assert wire.status_for_error(rebuilt)[0] == status
+
+    def test_rebuilt_overload_carries_retry_after(self):
+        status, retry = wire.status_for_error(OverloadedError("x", 0.3))
+        rebuilt = wire.error_for_status(status, "x", retry)
+        assert rebuilt.retry_after == 0.3
+
+    def test_rebuilt_stale_generation_carries_generation(self):
+        exc = wire.error_for_status(
+            Status.STALE_GENERATION, "x", generation=9
+        )
+        assert exc.generation == 9
+
+
+class TestRaiseForFrame:
+    def test_ok_frame_passes_through(self):
+        frame = Frame(Status.OK, 1, 2, b"payload")
+        assert wire.raise_for_frame(frame) is frame
+
+    def test_error_frame_raises_typed(self):
+        frame = Frame(
+            Status.OVERLOADED, 1, 2, wire.encode_error("full", 0.5)
+        )
+        with pytest.raises(OverloadedError) as info:
+            wire.raise_for_frame(frame)
+        assert info.value.retry_after == 0.5
+
+    def test_request_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="request opcode"):
+            wire.raise_for_frame(Frame(Op.QUERY, 1, 0, b""))
+
+    def test_opcode_and_status_ranges_disjoint(self):
+        assert not (Op.ALL & Status.ALL)
