@@ -1,0 +1,143 @@
+"""Benches for the out-of-core ingest pipeline (docs/ingest.md).
+
+Micro-benches compare the streamed external-memory paths against their
+in-memory equivalents (same outputs, bounded RSS), and the smoke-sized
+gauntlet records an end-to-end streamed-ingest → out-of-core-build →
+serve run.  The committed ``results/ingest.txt`` is the full
+million-node gauntlet (``PYTHONPATH=src python tools/gauntlet.py``);
+the smoke run here writes ``results/ingest-smoke.txt`` so it never
+clobbers that record.
+"""
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.core.ooc import build_snapshot_out_of_core
+from repro.core.query import HighwayCoverOracle
+from repro.core.serialization import save_oracle
+from repro.datasets.ingest import ingest_edge_list
+from repro.graphs.disk_csr import open_disk_csr
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.landmarks.selection import select_landmarks
+from repro.utils.formatting import format_bytes, format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _edge_list(tmp_path: Path, scale: float) -> Path:
+    from repro.datasets.registry import load_dataset
+
+    graph = load_dataset("Skitter", scale=scale)
+    path = tmp_path / "skitter.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+def test_streamed_ingest_vs_in_memory(
+    benchmark, bench_config, results_dir, tmp_path
+):
+    """Streamed ingest produces read_edge_list's graph at comparable cost."""
+    source = _edge_list(tmp_path, bench_config.scale)
+
+    def run():
+        rows = []
+        t0 = time.perf_counter()
+        memory_graph = read_edge_list(source)
+        rows.append(
+            [
+                "read_edge_list (in-memory)",
+                f"{time.perf_counter() - t0:.3f}s",
+                format_bytes(memory_graph.size_bytes),
+            ]
+        )
+        t0 = time.perf_counter()
+        report = ingest_edge_list(source, tmp_path / "g.rpdc")
+        rows.append(
+            [
+                "ingest_edge_list (streamed)",
+                f"{time.perf_counter() - t0:.3f}s",
+                format_bytes(report.bytes_written),
+            ]
+        )
+        disk_graph = open_disk_csr(tmp_path / "g.rpdc")
+        assert np.array_equal(disk_graph.csr.indptr, memory_graph.csr.indptr)
+        assert np.array_equal(disk_graph.csr.indices, memory_graph.csr.indices)
+        return format_table(["path", "time", "bytes"], rows)
+
+    rendered = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(
+        results_dir,
+        "ingest_micro",
+        "streamed ingest vs in-memory parse (identical graphs)",
+        rendered,
+    )
+
+
+def test_out_of_core_build_vs_in_memory(
+    benchmark, bench_config, results_dir, tmp_path
+):
+    """The spill-to-disk builder matches save_oracle byte-for-byte."""
+    source = _edge_list(tmp_path, bench_config.scale)
+    ingest_edge_list(source, tmp_path / "g.rpdc")
+    graph = open_disk_csr(tmp_path / "g.rpdc")
+    landmarks = select_landmarks(graph, bench_config.num_landmarks)
+
+    def run():
+        rows = []
+        t0 = time.perf_counter()
+        oracle = HighwayCoverOracle(
+            num_landmarks=len(landmarks), landmarks=landmarks
+        ).build(open_disk_csr(tmp_path / "g.rpdc", mmap=False))
+        save_oracle(oracle, tmp_path / "mem.hl")
+        rows.append(["stacked + save_oracle", f"{time.perf_counter() - t0:.3f}s"])
+        t0 = time.perf_counter()
+        build_snapshot_out_of_core(
+            graph,
+            landmarks,
+            tmp_path / "ooc.hl",
+            edge_block=1 << 18,
+            release_graph_pages=True,
+        )
+        rows.append(["out-of-core spill", f"{time.perf_counter() - t0:.3f}s"])
+        identical = (
+            (tmp_path / "ooc.hl").read_bytes()
+            == (tmp_path / "mem.hl").read_bytes()
+        )
+        assert identical, "out-of-core snapshot diverged from save_oracle"
+        rows.append(["byte-identical", "yes"])
+        return format_table(["builder", "result"], rows)
+
+    rendered = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(
+        results_dir,
+        "ingest_build",
+        "out-of-core snapshot build vs in-memory (byte-identical)",
+        rendered,
+    )
+
+
+def test_gauntlet_smoke(benchmark, results_dir):
+    """The CI-sized gauntlet: 100k streamed nodes, RSS bound asserted."""
+
+    def run():
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "gauntlet.py"),
+                "--smoke",
+                "-o",
+                str(results_dir / "ingest-smoke.txt"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        return result.stdout
+
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(output)

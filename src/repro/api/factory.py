@@ -304,12 +304,22 @@ def open_oracle(
 
 
 def as_graph(source: GraphSource) -> Graph:
-    """Coerce a graph source (Graph instance or edge-list path) to a Graph."""
+    """Coerce a graph source to a :class:`Graph`.
+
+    Accepts a ``Graph`` instance, an edge-list text path, or a
+    disk-backed CSR (``.rpdc``) path — the latter is sniffed by magic
+    and opened as a zero-copy memmap
+    (:func:`~repro.graphs.disk_csr.open_disk_csr`), so a graph produced
+    by ``repro ingest`` plugs into every oracle factory unchanged.
+    """
     if isinstance(source, Graph):
         return source
     if isinstance(source, (str, Path)):
+        from repro.graphs.disk_csr import is_disk_csr, open_disk_csr
         from repro.graphs.io import read_edge_list
 
+        if is_disk_csr(source):
+            return open_disk_csr(source, mmap=True)
         return read_edge_list(source)
     raise TypeError(
         f"expected a Graph or an edge-list path, got {type(source).__name__}"

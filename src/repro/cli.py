@@ -2,12 +2,24 @@
 
 Commands:
 
-* ``stats <edgelist>`` — Table-1-style statistics for a graph file.
-* ``build <edgelist> -o index.hl [-k 20] [--strategy degree]
+* ``stats <graph>`` — Table-1-style statistics for a graph file
+  (edge-list text or a disk-backed ``.rpdc`` CSR; every command that
+  takes a graph accepts either, sniffed by magic).
+* ``ingest <edgelist[.gz]> -o graph.rpdc [--name N] [--chunk-mb C]
+  [--memory-budget-mb M]`` — stream a SNAP-style edge list (plain or
+  gzipped) into a disk-backed CSR with bounded memory
+  (:mod:`repro.datasets.ingest`); the output opens zero-copy via
+  ``np.memmap`` everywhere a graph is accepted.
+* ``build <graph> -o index.hl [-k 20] [--strategy degree]
   [--engine stacked|looped] [--chunk-size C] [--parallel]
-  [--store vertex|landmark] [--format-version 1|2]`` — build and
-  persist an HL index (the stacked engine is the default; all engines
-  and both label-store backends produce byte-identical indexes).
+  [--store vertex|landmark] [--format-version 1|2]
+  [--from-edgelist] [--out-of-core]`` — build and persist an HL index
+  (the stacked engine is the default; all engines and both label-store
+  backends produce byte-identical indexes). ``--from-edgelist``
+  streams the text through ``ingest`` into a temporary disk CSR first;
+  ``--out-of-core`` spills label chunks to disk and scatters them
+  straight into the snapshot (:mod:`repro.core.ooc`) — same bytes,
+  ``O(n)`` peak memory.
 * ``query <edgelist> <index> s t [s t ...] [--mmap] [--kernel K]`` —
   exact distances from a saved index; ``--mmap`` maps a v2 index
   zero-copy instead of reading it into RAM, ``--kernel`` selects the
@@ -50,11 +62,12 @@ Commands:
   per-config throughput plus the cached-point-query rate.
   ``--threads M`` runs every worker's batches on an M-thread executor
   (N shards × M threads).
-* ``fsck <path> [<path> ...]`` — validate snapshot and write-ahead-log
-  files offline: every format invariant (magic/version/flags, section
-  alignment, offsets, id ranges, highway sentinel symmetry; WAL
-  checksums and torn tails) is checked and *all* violations reported,
-  with salvage guidance. Exit 0 = every file clean, 1 = at least one
+* ``fsck <path> [<path> ...]`` — validate snapshot, write-ahead-log
+  and disk-CSR files offline: every format invariant
+  (magic/version/flags, section alignment, offsets, id ranges, highway
+  sentinel symmetry; WAL checksums and torn tails; CSR indptr and
+  row-order invariants) is checked and *all* violations reported, with
+  salvage guidance. Exit 0 = every file clean, 1 = at least one
   violated invariant, 2 = a path could not be read.
 * ``methods`` — list every registered oracle method with its
   capability set (the README matrix, live).
@@ -80,15 +93,21 @@ from typing import List, Optional
 from repro.api import available_methods, build_oracle, open_oracle
 from repro.api.protocol import ALL_CAPABILITIES
 from repro.datasets.registry import dataset_names, load_dataset
-from repro.graphs.io import read_edge_list
 from repro.graphs.sampling import sample_vertex_pairs
 from repro.graphs.stats import compute_stats
 from repro.landmarks.selection import STRATEGIES
 from repro.utils.formatting import format_bytes, format_table
 
 
+def _load_graph(path: str):
+    """Open a graph argument: edge-list text or a disk CSR, by magic."""
+    from repro.api.factory import as_graph
+
+    return as_graph(path)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    graph = read_edge_list(args.graph)
+    graph = _load_graph(args.graph)
     stats = compute_stats(graph)
     print(
         format_table(
@@ -108,6 +127,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.datasets.ingest import ingest_edge_list
+
+    report = ingest_edge_list(
+        args.edgelist,
+        args.output,
+        name=args.name,
+        chunk_bytes=args.chunk_mb * (1 << 20),
+        memory_budget_bytes=args.memory_budget_mb * (1 << 20),
+        wide=True if args.wide else None,
+    )
+    print(report.summary())
+    return 0
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     if args.parallel and args.engine == "looped":
         print(
@@ -116,17 +150,70 @@ def _cmd_build(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    oracle = build_oracle(
-        args.graph,
-        "hl",
-        num_landmarks=args.landmarks,
-        landmark_strategy=args.strategy,
-        parallel=args.parallel,
-        engine=args.engine,
-        chunk_size=args.chunk_size,
-        store=args.store,
-    )
-    written = oracle.save(args.output, version=args.format_version)
+    if args.out_of_core and (args.parallel or args.engine == "looped"):
+        print(
+            "error: --out-of-core uses the stacked engine; drop "
+            "--parallel / --engine looped",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out_of_core and args.format_version != 2:
+        print(
+            "error: --out-of-core writes the aligned v2 snapshot only",
+            file=sys.stderr,
+        )
+        return 2
+    source = args.graph
+    ingest_dir = None
+    try:
+        if args.from_edgelist:
+            import tempfile
+
+            from repro.datasets.ingest import ingest_edge_list
+
+            ingest_dir = tempfile.TemporaryDirectory(prefix="repro-build-")
+            source = f"{ingest_dir.name}/graph.rpdc"
+            report = ingest_edge_list(args.graph, source)
+            print(report.summary())
+        if args.out_of_core:
+            from repro.api.factory import as_graph
+            from repro.core.ooc import build_snapshot_out_of_core
+            from repro.landmarks.selection import select_landmarks
+
+            graph = as_graph(source)
+            landmark_ids = select_landmarks(
+                graph, args.landmarks, strategy=args.strategy
+            )
+            memmapped = hasattr(graph.csr.indices, "_mmap")
+            report = build_snapshot_out_of_core(
+                graph,
+                landmark_ids,
+                args.output,
+                chunk_size=args.chunk_size,
+                edge_block=args.edge_block,
+                release_graph_pages=memmapped,
+            )
+            print(
+                f"built HL/ooc(k={args.landmarks}, {args.strategy}) in "
+                f"{report.construction_seconds:.2f}s; "
+                f"entries={report.entries}; wrote "
+                f"{format_bytes(report.bytes_written)} (v2) to {args.output}"
+            )
+            return 0
+        oracle = build_oracle(
+            source,
+            "hl",
+            num_landmarks=args.landmarks,
+            landmark_strategy=args.strategy,
+            parallel=args.parallel,
+            engine=args.engine,
+            chunk_size=args.chunk_size,
+            store=args.store,
+        )
+        written = oracle.save(args.output, version=args.format_version)
+    finally:
+        if ingest_dir is not None:
+            ingest_dir.cleanup()
     builder = "HL-P" if args.parallel else f"HL/{args.engine}"
     print(
         f"built {builder}(k={args.landmarks}, {args.strategy}, "
@@ -192,7 +279,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.net import NetServer, SnapshotRollover
 
-    graph = read_edge_list(args.graph)
+    graph = _load_graph(args.graph)
     backend = open_oracle(
         graph,
         index=args.index,
@@ -326,7 +413,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serving import DistanceService
 
     if args.graph is not None:
-        graph = read_edge_list(args.graph)
+        graph = _load_graph(args.graph)
     else:
         graph = barabasi_albert_graph(args.n, 4, seed=7, name="serve-bench")
     oracle = build_oracle(
@@ -446,7 +533,7 @@ def _cmd_shard_bench(args: argparse.Namespace) -> int:
     from repro.serving import ShardedDistanceService
 
     if args.graph is not None:
-        graph = read_edge_list(args.graph)
+        graph = _load_graph(args.graph)
     else:
         graph = barabasi_albert_graph(args.n, 3, seed=7, name="shard-bench")
     oracle = build_oracle(
@@ -626,11 +713,41 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_stats = sub.add_parser("stats", help="Table-1-style statistics for a graph")
-    p_stats.add_argument("graph", help="edge-list file")
+    p_stats.add_argument("graph", help="edge-list file or disk CSR (.rpdc)")
     p_stats.set_defaults(func=_cmd_stats)
 
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="stream an edge-list file into a disk-backed CSR (.rpdc)",
+    )
+    p_ingest.add_argument("edgelist", help="edge-list text file (may be .gz)")
+    p_ingest.add_argument(
+        "-o", "--output", required=True, help="disk-CSR output path"
+    )
+    p_ingest.add_argument(
+        "--name", default=None, help="graph name stored in the header"
+    )
+    p_ingest.add_argument(
+        "--chunk-mb",
+        type=int,
+        default=4,
+        help="text chunk size read per parse step (MiB)",
+    )
+    p_ingest.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=64,
+        help="approximate RAM budget for the scatter passes (MiB)",
+    )
+    p_ingest.add_argument(
+        "--wide",
+        action="store_true",
+        help="force 64-bit adjacency ids (auto-selected when needed)",
+    )
+    p_ingest.set_defaults(func=_cmd_ingest)
+
     p_build = sub.add_parser("build", help="build and save an HL index")
-    p_build.add_argument("graph", help="edge-list file")
+    p_build.add_argument("graph", help="edge-list file or disk CSR (.rpdc)")
     p_build.add_argument("-o", "--output", required=True, help="index output path")
     p_build.add_argument("-k", "--landmarks", type=int, default=20)
     p_build.add_argument(
@@ -665,6 +782,25 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(1, 2),
         default=2,
         help="snapshot format: 2 (aligned, mmap-able) or 1 (legacy)",
+    )
+    p_build.add_argument(
+        "--from-edgelist",
+        action="store_true",
+        help="stream-ingest the graph to a temporary disk CSR first "
+        "(bounded parse memory for huge edge lists)",
+    )
+    p_build.add_argument(
+        "--out-of-core",
+        action="store_true",
+        help="spill labels to disk during construction and assemble the "
+        "v2 snapshot without holding it in RAM",
+    )
+    p_build.add_argument(
+        "--edge-block",
+        type=int,
+        default=None,
+        help="edges per BFS expansion block with --out-of-core "
+        "(bounds resident adjacency pages)",
     )
     p_build.set_defaults(func=_cmd_build)
 
@@ -881,7 +1017,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fsck.add_argument(
         "paths",
         nargs="+",
-        help="snapshot (.hl) or write-ahead-log files to check",
+        help="snapshot (.hl), write-ahead-log, or disk-CSR (.rpdc) files "
+        "to check",
     )
     p_fsck.set_defaults(func=_cmd_fsck)
 

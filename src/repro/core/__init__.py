@@ -40,9 +40,16 @@ from repro.core.dynamic import DynamicHighwayCoverOracle
 from repro.core.paths import shortest_path
 from repro.core.batch import batch_query, batch_upper_bounds, coverage_ratio
 from repro.core.batch_engine import BatchQueryEngine
+from repro.core.ooc import OocBuildReport, build_snapshot_out_of_core
 from repro.core.serialization import SnapshotSpool, load_oracle, save_oracle
 from repro.core.wal import WalRecord, WriteAheadLog, replay_into, scan_wal
-from repro.core.fsck import FsckReport, fsck_path, fsck_snapshot, fsck_wal
+from repro.core.fsck import (
+    FsckReport,
+    fsck_disk_csr,
+    fsck_path,
+    fsck_snapshot,
+    fsck_wal,
+)
 
 __all__ = [
     "Highway",
@@ -70,12 +77,15 @@ __all__ = [
     "coverage_ratio",
     "load_oracle",
     "save_oracle",
+    "OocBuildReport",
+    "build_snapshot_out_of_core",
     "SnapshotSpool",
     "WalRecord",
     "WriteAheadLog",
     "replay_into",
     "scan_wal",
     "FsckReport",
+    "fsck_disk_csr",
     "fsck_path",
     "fsck_snapshot",
     "fsck_wal",

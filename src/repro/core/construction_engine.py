@@ -43,7 +43,7 @@ looped builder (BA/WS/grid graphs, k ∈ {16, 64}).
 from __future__ import annotations
 
 import sys
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +66,12 @@ _LITTLE_ENDIAN = (
 )
 
 
+#: Words decomposed per ``_bit_positions`` slice — the ``unpackbits``
+#: temporary is 64 bytes per word, so slicing caps it at 4 MiB instead
+#: of 64 bytes × frontier size on million-vertex levels.
+_BIT_SLICE = 1 << 16
+
+
 def _bit_positions(words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Decompose a word array into (element-index, bit-index) pairs.
 
@@ -73,11 +79,27 @@ def _bit_positions(words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     little-endian platforms the words are unpacked byte-wise with
     ``np.unpackbits`` (flat bit ``i`` of word ``w`` lands at
     ``w * 64 + i``); elsewhere fall back to a broadcast shift.
+    Large inputs are processed in slices so the 64-bytes-per-word
+    unpack temporary stays bounded.
     """
     if _LITTLE_ENDIAN:
-        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
-        positions = np.flatnonzero(bits)
-        return positions >> 6, positions & 63
+        if words.size <= _BIT_SLICE:
+            positions = np.flatnonzero(
+                np.unpackbits(words.view(np.uint8), bitorder="little")
+            )
+            return positions >> 6, positions & 63
+        elements = []
+        bits = []
+        for lo in range(0, words.size, _BIT_SLICE):
+            positions = np.flatnonzero(
+                np.unpackbits(
+                    words[lo : lo + _BIT_SLICE].view(np.uint8),
+                    bitorder="little",
+                )
+            )
+            elements.append((positions >> 6) + lo)
+            bits.append(positions & 63)
+        return np.concatenate(elements), np.concatenate(bits)
     flags = (words[:, None] >> _BIT_RANGE) & _ONE != _ZERO
     return np.nonzero(flags)
 
@@ -88,6 +110,9 @@ def stacked_pruned_bfs(
     landmark_mask: np.ndarray,
     landmark_ids: np.ndarray,
     budget: Optional[TimeBudget] = None,
+    edge_block: Optional[int] = None,
+    level_hook: Optional[Callable[[], None]] = None,
+    block_hook: Optional[Callable[[], None]] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray]:
     """Run Algorithm 1's pruned BFS for several landmarks in lock step.
 
@@ -102,6 +127,18 @@ def stacked_pruned_bfs(
         landmark_ids: vertex ids of all landmarks in landmark-index
             order (used to read off the highway rows).
         budget: optional construction budget, checked once per level.
+        edge_block: forwarded to
+            :func:`~repro.graphs.csr.bitset_neighbor_or` — sweeps the
+            adjacency in row-aligned blocks of at most this many
+            directed edges, bounding the gather temporary for
+            out-of-core builds (bitwise-identical results).
+        level_hook: called once after each completed BFS level; the
+            out-of-core builder uses it to drop resident pages of a
+            memmapped adjacency between levels.
+        block_hook: forwarded to
+            :func:`~repro.graphs.csr.bitset_neighbor_or` — called after
+            each edge block so swept adjacency pages can be dropped
+            mid-level, bounding resident memory by ``edge_block``.
 
     Returns:
         ``(per_root_vertices, per_root_distances, rows)``: for slot
@@ -139,7 +176,13 @@ def stacked_pruned_bfs(
     out_distances: List[np.ndarray] = []
     # Narrow slot keys keep the final grouping sort (radix) cheap.
     slot_dtype = np.uint16 if num_roots <= np.iinfo(np.uint16).max else np.int64
+    # Fixed work buffers: the level step runs entirely in-place so a
+    # level allocates nothing O(n) — on memory-bound out-of-core builds
+    # the per-level churn would otherwise linger on the allocator's
+    # free lists and inflate the RSS high-water mark.
     scratch = np.empty(n, dtype=np.uint64)
+    new = np.empty(n, dtype=np.uint64)
+    shadow = np.empty(n, dtype=np.uint64)
     depth = 0
     while label_frontier.any() or prune_frontier.any():
         if budget is not None:
@@ -148,20 +191,33 @@ def stacked_pruned_bfs(
         for j in range(num_words):
             # Children of Q_label claim vertices first (Lemma 3.7's "iff").
             if label_frontier[j].any():
-                children = bitset_neighbor_or(graph.csr, label_frontier[j], scratch)
-                new = children & ~visited[j]
+                children = bitset_neighbor_or(
+                    graph.csr,
+                    label_frontier[j],
+                    scratch,
+                    edge_block=edge_block,
+                    block_hook=block_hook,
+                )
+                # new = children & ~visited[j], without temporaries.
+                np.bitwise_not(visited[j], out=new)
+                np.bitwise_and(children, new, out=new)
                 visited[j] |= new
             else:
-                new = np.zeros(n, dtype=np.uint64)
+                new[:] = _ZERO
             # Children of Q_prune: visited at their true level, never labelled.
             if prune_frontier[j].any():
                 shadow_children = bitset_neighbor_or(
-                    graph.csr, prune_frontier[j], scratch
+                    graph.csr,
+                    prune_frontier[j],
+                    scratch,
+                    edge_block=edge_block,
+                    block_hook=block_hook,
                 )
-                shadow = shadow_children & ~visited[j]
+                np.bitwise_not(visited[j], out=shadow)
+                np.bitwise_and(shadow_children, shadow, out=shadow)
                 visited[j] |= shadow
             else:
-                shadow = np.zeros(n, dtype=np.uint64)
+                shadow[:] = _ZERO
             # Landmarks reached this level: record highway distances.
             new_at_landmarks = new[landmark_ids]
             reached_landmarks = new_at_landmarks | shadow[landmark_ids]
@@ -181,19 +237,33 @@ def stacked_pruned_bfs(
             shadow[landmark_ids] |= new_at_landmarks
             label_frontier[j] = new
             prune_frontier[j] = shadow
+        if level_hook is not None:
+            level_hook()
 
     if out_slots:
         all_slots = np.concatenate(out_slots)
         all_vertices = np.concatenate(out_vertices)
         all_distances = np.concatenate(out_distances)
+        # The per-level pieces are dead once concatenated; dropping them
+        # now halves this epilogue's peak footprint on big graphs.
+        out_slots.clear()
+        out_vertices.clear()
+        out_distances.clear()
     else:
         all_slots = np.empty(0, dtype=slot_dtype)
         all_vertices = np.empty(0, dtype=np.int64)
         all_distances = np.empty(0, dtype=np.int32)
-    order = np.argsort(all_slots, kind="stable")
-    splits = np.cumsum(np.bincount(all_slots, minlength=num_roots))[:-1]
-    per_root_vertices = np.split(all_vertices[order], splits)
-    per_root_distances = np.split(all_distances[order], splits)
+    if num_roots == 1:
+        # One root: every entry already belongs to slot 0 in emission
+        # (depth) order — the stable grouping sort would be an identity
+        # permutation, so skip it and its two gather copies.
+        per_root_vertices = [all_vertices]
+        per_root_distances = [all_distances]
+    else:
+        order = np.argsort(all_slots, kind="stable")
+        splits = np.cumsum(np.bincount(all_slots, minlength=num_roots))[:-1]
+        per_root_vertices = np.split(all_vertices[order], splits)
+        per_root_distances = np.split(all_distances[order], splits)
     rows = highway_rows.astype(float)
     rows[rows < 0] = np.inf
     return per_root_vertices, per_root_distances, rows

@@ -27,6 +27,11 @@ WAL invariants checked (see :mod:`repro.core.wal`): magic, version,
 record length, per-record checksum, known opcodes — and a torn tail is
 reported with the count of salvageable records in front of it.
 
+Disk-CSR invariants checked (see :mod:`repro.graphs.disk_csr`): magic,
+version, flags, the size/layout equation with per-section salvage,
+indptr base/terminal/monotonicity, adjacency id range and per-row
+strict ordering.
+
 Programmatic use returns a :class:`FsckReport`; the CLI command
 ``repro fsck`` prints findings and exits non-zero on any error.
 """
@@ -43,12 +48,21 @@ import numpy as np
 from repro.core import serialization as _ser
 from repro.core import wal as _wal
 from repro.errors import WalError
+from repro.graphs import disk_csr as _disk
 
-__all__ = ["Finding", "FsckReport", "fsck_path", "fsck_snapshot", "fsck_wal"]
+__all__ = [
+    "Finding",
+    "FsckReport",
+    "fsck_path",
+    "fsck_snapshot",
+    "fsck_wal",
+    "fsck_disk_csr",
+]
 
 PathLike = Union[str, Path]
 
 _SECTION_NAMES = ("landmarks", "highway", "offsets", "label ids", "label distances")
+_DISK_SECTION_NAMES = ("indptr", "adjacency")
 
 
 @dataclass(frozen=True)
@@ -111,11 +125,14 @@ def fsck_path(path: PathLike) -> FsckReport:
         return fsck_snapshot(path)
     if magic == _wal.WAL_MAGIC:
         return fsck_wal(path)
+    if magic == _disk.DISK_CSR_MAGIC:
+        return fsck_disk_csr(path)
     report = FsckReport(path, "unknown")
     report.error(
         "bad-magic",
-        f"unrecognized magic {magic!r} — neither a snapshot "
-        f"({_ser._MAGIC!r}) nor a WAL ({_wal.WAL_MAGIC!r})",
+        f"unrecognized magic {magic!r} — not a snapshot "
+        f"({_ser._MAGIC!r}), WAL ({_wal.WAL_MAGIC!r}) or disk CSR "
+        f"({_disk.DISK_CSR_MAGIC!r})",
     )
     return report
 
@@ -270,6 +287,156 @@ def fsck_snapshot(path: PathLike) -> FsckReport:
             "clean",
             f"v{version} snapshot, n={n}, k={k}, entries={entries}, "
             f"{'narrow' if narrow else 'wide'} ids",
+        )
+    return report
+
+
+# -- Disk-CSR checks ---------------------------------------------------------
+
+
+def fsck_disk_csr(path: PathLike) -> FsckReport:
+    """Validate every invariant of an RPDC disk-backed CSR file.
+
+    Layered like :func:`fsck_snapshot`: header sanity, then the
+    size/layout equation (with per-section salvage reporting on
+    truncation), then — for each section fully present — the content
+    invariants :func:`~repro.graphs.disk_csr.open_disk_csr` relies on:
+
+    * ``indptr[0] == 0``, ``indptr[-1] ==`` the header's directed edge
+      count, non-decreasing;
+    * adjacency ids in ``[0, n)``;
+    * every adjacency row strictly increasing (sorted, duplicate-free —
+      the :func:`~repro.graphs.csr.build_csr` contract binary search
+      depends on).
+    """
+    path = Path(path)
+    report = FsckReport(path, "disk-csr")
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        report.error("unreadable", f"cannot read file: {exc}")
+        return report
+
+    header_bytes = _disk._HEADER_BYTES
+    if len(data) < header_bytes:
+        report.error(
+            "truncated-header",
+            f"file is {len(data)} bytes — shorter than the "
+            f"{header_bytes}-byte header; nothing is salvageable",
+        )
+        return report
+    if data[:4] != _disk.DISK_CSR_MAGIC:
+        report.error(
+            "bad-magic",
+            f"magic is {data[:4]!r}, expected {_disk.DISK_CSR_MAGIC!r}",
+        )
+        return report
+    version, flags, n, directed, name_len = struct.unpack(
+        _disk._HEADER_STRUCT, data[4:header_bytes]
+    )
+    if version != _disk.DISK_CSR_VERSION:
+        report.error("bad-version", f"unsupported disk-CSR version {version}")
+        return report
+    if flags & ~_disk._KNOWN_FLAGS:
+        report.error("unknown-flags", f"unknown flag bits 0x{flags:x}")
+        return report
+    wide = bool(flags & _disk.FLAG_WIDE_INDICES)
+    if len(data) < header_bytes + name_len:
+        report.error(
+            "truncated-name",
+            f"header claims a {name_len}-byte name, file ends inside it",
+        )
+        return report
+
+    indptr_start, indices_start, expected = _disk.disk_csr_sections(
+        n, directed, wide, name_len
+    )
+    sections = (indptr_start, indices_start)
+    misaligned = [
+        name
+        for name, start in zip(_DISK_SECTION_NAMES, sections)
+        if start % _disk._ALIGNMENT
+    ]
+    if misaligned:  # pragma: no cover - layout-equation guard
+        report.error(
+            "misaligned-section",
+            f"sections not on {_disk._ALIGNMENT}-byte boundaries: "
+            f"{', '.join(misaligned)}",
+        )
+    if len(data) != expected:
+        kind = "truncated" if len(data) < expected else "oversized"
+        report.error(
+            f"{kind}-file",
+            f"header (n={n}, directed={directed}, "
+            f"{'i8' if wide else 'i4'} ids) implies {expected} bytes, "
+            f"file has {len(data)}",
+        )
+        if len(data) > expected:
+            report.info(
+                "salvage",
+                f"all sections are present; the {len(data) - expected} "
+                f"trailing bytes are foreign",
+            )
+        else:
+            ends = (indices_start, expected)
+            intact = [
+                name
+                for name, end in zip(_DISK_SECTION_NAMES, ends)
+                if end <= len(data)
+            ]
+            report.info(
+                "salvage",
+                "intact sections: " + (", ".join(intact) if intact else "none"),
+            )
+
+    indptr = None
+    if indptr_start + 8 * (n + 1) <= len(data):
+        indptr = np.frombuffer(data, dtype="<i8", count=n + 1, offset=indptr_start)
+        if int(indptr[0]) != 0:
+            report.error(
+                "indptr-base", f"indptr[0] is {int(indptr[0])}, expected 0"
+            )
+        if int(indptr[-1]) != directed:
+            report.error(
+                "indptr-entries",
+                f"indptr[-1] is {int(indptr[-1])}, header claims "
+                f"{directed} directed edges",
+            )
+        if n and not bool((np.diff(indptr) >= 0).all()):
+            report.error("indptr-order", "indptr is not non-decreasing")
+
+    index_dtype = "<i8" if wide else "<i4"
+    itemsize = 8 if wide else 4
+    if directed and indices_start + itemsize * directed <= len(data):
+        indices = np.frombuffer(
+            data, dtype=index_dtype, count=directed, offset=indices_start
+        )
+        low, high = int(indices.min()), int(indices.max())
+        if low < 0 or high >= n:
+            report.error(
+                "index-range",
+                f"adjacency ids span [{low}, {high}], must lie in [0, {n})",
+            )
+        elif indptr is not None and report.ok:
+            # Rows must be strictly increasing; a non-increase anywhere
+            # except a row boundary is a violation.
+            row_start = np.zeros(directed + 1, dtype=bool)
+            row_start[indptr[:-1]] = True
+            bad = (indices[1:] <= indices[:-1]) & ~row_start[1:directed]
+            if bad.any():
+                pos = int(np.flatnonzero(bad)[0]) + 1
+                row = int(np.searchsorted(indptr, pos, side="right")) - 1
+                report.error(
+                    "row-order",
+                    f"adjacency row of vertex {row} is not strictly "
+                    f"increasing at flat position {pos}",
+                )
+
+    if report.ok:
+        report.info(
+            "clean",
+            f"v{version} disk CSR, n={n}, directed={directed}, "
+            f"{'i8' if wide else 'i4'} ids",
         )
     return report
 

@@ -443,6 +443,30 @@ class SnapshotSpool:
         self._live.add(path)
         return path
 
+    def publish_via(self, write_fn) -> Path:
+        """Allocate the next generation name and let ``write_fn`` fill it.
+
+        The escape hatch for writers that produce a snapshot without an
+        in-RAM oracle — the out-of-core builder
+        (:func:`repro.core.ooc.build_snapshot_out_of_core`) streams
+        label sections straight to disk and publishes the result as a
+        spool generation through this hook.  ``write_fn(path)`` must
+        create ``path`` atomically (temp file + rename), exactly like
+        :func:`save_oracle`; the sequence number is consumed either
+        way, so a failed write never reuses a generation name.
+
+        Returns the generation path, registered as live.
+        """
+        path = self.directory / f"{self.prefix}-{self._seq:06d}.hl"
+        self._seq += 1
+        write_fn(path)
+        if not path.is_file():
+            raise ReproError(
+                f"publish_via writer did not produce {path}"
+            )
+        self._live.add(path)
+        return path
+
     def _write_graph_sidecar(self, graph, sidecar: Path) -> None:
         """Atomically write the graph next to its generation file."""
         from repro.graphs.io import write_binary

@@ -5,6 +5,7 @@ from repro.datasets.example_graph import (
     EXAMPLE_LABELS,
     paper_example_graph,
 )
+from repro.datasets.ingest import IngestReport, ingest_edge_list
 from repro.datasets.registry import (
     DATASETS,
     DatasetSpec,
@@ -22,4 +23,6 @@ __all__ = [
     "dataset_names",
     "load_dataset",
     "load_all_datasets",
+    "IngestReport",
+    "ingest_edge_list",
 ]

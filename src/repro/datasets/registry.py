@@ -20,9 +20,11 @@ qualitative results.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from repro.errors import ReproError
 from repro.graphs.connectivity import largest_connected_component
 from repro.graphs.generators import (
     barabasi_albert_graph,
@@ -48,6 +50,7 @@ class DatasetSpec:
 
     def generate(self, scale: float = 1.0) -> Graph:
         """Build the surrogate at the requested scale (LCC-extracted)."""
+        scale = _validate_scale(scale)
         n = max(64, int(self.base_vertices * scale))
         if self.family == "ba":
             graph = barabasi_albert_graph(n, self.param, seed=self.seed, name=self.name)
@@ -86,6 +89,19 @@ DATASETS: Dict[str, DatasetSpec] = {
         DatasetSpec("ClueWeb09", "computer", "2B", "8B", 11.959, 48000, "copying", 6, 112),
     ]
 }
+
+
+def _validate_scale(scale: float) -> float:
+    """Reject non-finite or non-positive scales before they truncate to 0."""
+    try:
+        scale = float(scale)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"dataset scale must be a number, got {scale!r}") from exc
+    if not math.isfinite(scale) or scale <= 0.0:
+        raise ReproError(
+            f"dataset scale must be a finite positive number, got {scale!r}"
+        )
+    return scale
 
 
 def dataset_names() -> List[str]:

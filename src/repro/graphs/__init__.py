@@ -13,6 +13,13 @@ from repro.graphs.generators import (
     watts_strogatz_graph,
 )
 from repro.graphs.connectivity import connected_components, largest_connected_component
+from repro.graphs.disk_csr import (
+    is_disk_csr,
+    open_disk_csr,
+    publish_disk_csr,
+    read_disk_csr_header,
+    write_graph_disk_csr,
+)
 from repro.graphs.stats import GraphStats, compute_stats
 from repro.graphs.sampling import distance_distribution, sample_vertex_pairs
 from repro.graphs import analysis, io
@@ -31,6 +38,11 @@ __all__ = [
     "watts_strogatz_graph",
     "connected_components",
     "largest_connected_component",
+    "is_disk_csr",
+    "open_disk_csr",
+    "publish_disk_csr",
+    "read_disk_csr_header",
+    "write_graph_disk_csr",
     "GraphStats",
     "compute_stats",
     "sample_vertex_pairs",

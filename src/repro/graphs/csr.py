@@ -117,7 +117,11 @@ def frontier_neighbors(csr: CSRAdjacency, frontier: np.ndarray) -> np.ndarray:
 
 
 def bitset_neighbor_or(
-    csr: CSRAdjacency, words: np.ndarray, out: np.ndarray = None
+    csr: CSRAdjacency,
+    words: np.ndarray,
+    out: np.ndarray = None,
+    edge_block: int = None,
+    block_hook=None,
 ) -> np.ndarray:
     """``out[v] = OR of words[u] over u in N(v)`` — a boolean-semiring
     adjacency mat-vec over per-vertex bitset words.
@@ -131,22 +135,54 @@ def bitset_neighbor_or(
         csr: the adjacency.
         words: unsigned-integer array of length ``num_vertices``.
         out: optional preallocated output array (same shape/dtype).
+        edge_block: when set, sweep the edge array in row-aligned blocks
+            of at most this many directed edges instead of one pass, so
+            the gather temporary is ``O(edge_block)`` rather than
+            ``O(m)`` — the knob the out-of-core builder uses to keep a
+            memmapped adjacency from being fully resident. Blocks split
+            only at row boundaries, so the result is bitwise identical
+            to the unblocked pass.
+        block_hook: optional zero-argument callable invoked after each
+            edge block (only on the blocked path) — the out-of-core
+            builder uses it to drop the block's now-swept adjacency
+            pages, keeping resident memory ``O(edge_block)`` even
+            *within* a level.
     """
     n = csr.num_vertices
     if out is None:
         out = np.zeros(n, dtype=words.dtype)
     else:
         out[:] = 0
-    if len(csr.indices) == 0:
+    total = len(csr.indices)
+    if total == 0:
         return out
     # reduceat quirks around empty segments (they return a[start] instead
     # of the identity, and clipping starts truncates the *previous*
     # segment): reduce over the nonempty rows only, whose start offsets
     # are strictly increasing and tile the index array exactly.
-    nonempty = np.flatnonzero(csr.indptr[1:] > csr.indptr[:-1])
-    out[nonempty] = np.bitwise_or.reduceat(
-        words[csr.indices], csr.indptr[nonempty]
-    )
+    if edge_block is None or total <= edge_block:
+        nonempty = np.flatnonzero(csr.indptr[1:] > csr.indptr[:-1])
+        out[nonempty] = np.bitwise_or.reduceat(
+            words[csr.indices], csr.indptr[nonempty]
+        )
+        return out
+    start_v = 0
+    while start_v < n:
+        limit = int(csr.indptr[start_v]) + int(edge_block)
+        end_v = int(np.searchsorted(csr.indptr, limit, side="right")) - 1
+        end_v = min(max(end_v, start_v + 1), n)
+        edge_lo = int(csr.indptr[start_v])
+        edge_hi = int(csr.indptr[end_v])
+        if edge_hi > edge_lo:
+            block_ptr = csr.indptr[start_v : end_v + 1]
+            nonempty = np.flatnonzero(block_ptr[1:] > block_ptr[:-1])
+            gathered = words[csr.indices[edge_lo:edge_hi]]
+            out[start_v + nonempty] = np.bitwise_or.reduceat(
+                gathered, (block_ptr[nonempty] - edge_lo).astype(np.int64)
+            )
+        if block_hook is not None:
+            block_hook()
+        start_v = end_v
     return out
 
 

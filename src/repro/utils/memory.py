@@ -1,0 +1,43 @@
+"""Heap hygiene for the external-memory pipelines.
+
+glibc's allocator retains freed medium-sized blocks on its arena free
+lists; a loop that churns numpy scratch arrays (the ingest passes, the
+out-of-core builder's per-chunk epilogues) can therefore drag a
+process's resident set tens of MiB above its live data, and — because
+``ru_maxrss`` is a high-water mark — the retention of one phase stacks
+under the peak of the next.  :func:`trim_heap` hands those free lists
+back to the kernel (``malloc_trim``); the bounded-memory pipelines call
+it at phase boundaries so their documented RSS envelopes hold on glibc
+systems.  On platforms without ``malloc_trim`` it is a no-op.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+_malloc_trim = None
+_initialized = False
+
+
+def trim_heap() -> bool:
+    """Return freed allocator memory to the OS; True if anything moved.
+
+    Safe to call from any thread and cheap relative to the array work
+    between phases (it walks the allocator's free lists, not the heap).
+    """
+    global _malloc_trim, _initialized
+    if not _initialized:
+        _initialized = True
+        try:
+            libc = ctypes.CDLL(None, use_errno=True)
+            _malloc_trim = libc.malloc_trim
+            _malloc_trim.argtypes = (ctypes.c_size_t,)
+            _malloc_trim.restype = ctypes.c_int
+        except (OSError, AttributeError):
+            _malloc_trim = None
+    if _malloc_trim is None:
+        return False
+    try:
+        return bool(_malloc_trim(0))
+    except Exception:
+        return False

@@ -49,6 +49,29 @@ from repro.search.bfs import UNREACHED, bfs_distances
 BuildResult = Tuple[HighwayCoverLabelling, Highway]
 
 
+def _build_out_of_core(graph: Graph, landmarks: Sequence[int]) -> BuildResult:
+    """Build via the spill-to-disk path, then reload the v2 snapshot.
+
+    Exercises the full out-of-core round trip — chunked BFS, structured
+    spill files, scatter assembly — with a chunk size small enough to
+    force multiple spill generations on every harness case.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.ooc import build_snapshot_out_of_core
+    from repro.core.serialization import load_oracle
+
+    with tempfile.TemporaryDirectory(prefix="repro-harness-ooc-") as tmp:
+        path = Path(tmp) / "ooc.hl"
+        build_snapshot_out_of_core(
+            graph, landmarks, path, chunk_size=3, edge_block=512
+        )
+        oracle = load_oracle(graph, path, mmap=False)
+    assert oracle.labelling is not None and oracle.highway is not None
+    return oracle.labelling, oracle.highway
+
+
 def _disconnected_graph() -> Graph:
     """Two BA components plus isolated vertices, wired deterministically."""
     left = barabasi_albert_graph(40, 2, seed=31)
@@ -92,6 +115,7 @@ BUILDER_VARIANTS: Dict[str, Callable[[Graph, Sequence[int]], BuildResult]] = {
     "parallel-landmark-store": lambda g, lms: build_highway_cover_labelling_parallel(
         g, lms, backend="thread", workers=2, chunk_size=3, store="landmark"
     ),
+    "ooc-snapshot": _build_out_of_core,
 }
 
 

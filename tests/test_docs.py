@@ -46,6 +46,10 @@ AUDITED_MODULES = [
     "src/repro/core/serialization.py",
     "src/repro/core/wal.py",
     "src/repro/core/fsck.py",
+    "src/repro/core/ooc.py",
+    "src/repro/graphs/disk_csr.py",
+    "src/repro/datasets/ingest.py",
+    "src/repro/utils/memory.py",
 ]
 
 REQUIRED_DOCS = [
@@ -55,6 +59,7 @@ REQUIRED_DOCS = [
     "docs/networking.md",
     "docs/durability.md",
     "docs/kernels.md",
+    "docs/ingest.md",
     "README.md",
 ]
 

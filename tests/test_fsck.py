@@ -9,7 +9,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.dynamic import DynamicHighwayCoverOracle
-from repro.core.fsck import fsck_path, fsck_snapshot, fsck_wal
+from repro.core.fsck import fsck_disk_csr, fsck_path, fsck_snapshot, fsck_wal
 from repro.core.query import HighwayCoverOracle
 from repro.core.serialization import (
     _HEADER_STRUCT,
@@ -166,6 +166,166 @@ class TestSnapshotFsck:
         bad = tmp_path / "ids.hl"
         bad.write_bytes(bytes(data))
         assert "id-range" in _codes(fsck_snapshot(bad))
+
+
+class TestDiskCsrFsck:
+    DISK_SECTIONS = ("indptr", "adjacency")
+
+    @pytest.fixture(scope="class")
+    def disk_csr(self, tmp_path_factory):
+        """A clean .rpdc file plus its header-derived section layout."""
+        from repro.graphs.disk_csr import (
+            disk_csr_sections,
+            read_disk_csr_header,
+            write_graph_disk_csr,
+        )
+
+        graph = barabasi_albert_graph(90, 3, seed=41, name="fsck-csr")
+        path = tmp_path_factory.mktemp("fsck-csr") / "graph.rpdc"
+        write_graph_disk_csr(graph, path)
+        header = read_disk_csr_header(path)
+        sections = disk_csr_sections(
+            header.num_vertices,
+            header.num_directed_edges,
+            header.wide,
+            len(header.name.encode("utf-8")),
+        )
+        return graph, path, sections
+
+    def test_clean_disk_csr_is_ok(self, disk_csr):
+        _, path, _ = disk_csr
+        report = fsck_path(path)
+        assert report.kind == "disk-csr"
+        assert report.ok
+        assert "clean" in _codes(report, "info")
+
+    def test_truncation_at_every_section_boundary(self, disk_csr, tmp_path):
+        # Cut the file to end exactly at each section start: fsck must
+        # flag the truncation and name precisely the surviving sections.
+        from repro.graphs.disk_csr import open_disk_csr
+
+        graph, path, sections = disk_csr
+        data = path.read_bytes()
+        for index, boundary in enumerate(sections[:-1]):
+            clipped = tmp_path / f"cut-{index}.rpdc"
+            clipped.write_bytes(data[:boundary])
+            report = fsck_disk_csr(clipped)
+            assert not report.ok
+            assert "truncated-file" in _codes(report)
+            salvage = [
+                f.message
+                for f in report.findings
+                if f.severity == "info" and f.code == "salvage"
+            ]
+            assert len(salvage) == 1
+            intact = self.DISK_SECTIONS[:index]
+            if intact:
+                assert salvage[0] == "intact sections: " + ", ".join(intact)
+            else:
+                assert salvage[0] == "intact sections: none"
+            # open_disk_csr must refuse the same file with a clear error.
+            with pytest.raises(ReproError):
+                open_disk_csr(clipped)
+
+    def test_mid_adjacency_truncation(self, disk_csr, tmp_path):
+        from repro.graphs.disk_csr import open_disk_csr
+
+        _, path, sections = disk_csr
+        clipped = tmp_path / "cut-mid.rpdc"
+        clipped.write_bytes(path.read_bytes()[: sections[1] + 6])
+        report = fsck_disk_csr(clipped)
+        assert "truncated-file" in _codes(report)
+        salvage = [f.message for f in report.findings if f.code == "salvage"]
+        assert salvage == ["intact sections: indptr"]
+        with pytest.raises(ReproError):
+            open_disk_csr(clipped)
+
+    def test_oversized_file(self, disk_csr, tmp_path):
+        _, path, _ = disk_csr
+        bloated = tmp_path / "bloat.rpdc"
+        bloated.write_bytes(path.read_bytes() + b"\x00" * 23)
+        report = fsck_disk_csr(bloated)
+        assert "oversized-file" in _codes(report)
+        assert any("23" in f.message for f in report.findings if f.code == "salvage")
+
+    def test_truncated_header_and_name(self, disk_csr, tmp_path):
+        from repro.graphs.disk_csr import DISK_CSR_MAGIC
+
+        stub = tmp_path / "stub.rpdc"
+        stub.write_bytes(DISK_CSR_MAGIC + b"\x01")
+        assert _codes(fsck_disk_csr(stub)) == ["truncated-header"]
+
+        _, path, _ = disk_csr
+        named = tmp_path / "name.rpdc"
+        named.write_bytes(path.read_bytes()[:36])  # inside the name blob
+        assert _codes(fsck_disk_csr(named)) == ["truncated-name"]
+
+    def test_bad_magic_version_and_flags(self, disk_csr, tmp_path):
+        _, path, _ = disk_csr
+        data = bytearray(path.read_bytes())
+
+        bad = tmp_path / "magic.rpdc"
+        bad.write_bytes(b"XXXX" + bytes(data[4:]))
+        assert _codes(fsck_disk_csr(bad)) == ["bad-magic"]
+        assert fsck_path(bad).kind == "unknown"
+
+        struct.pack_into("<I", data, 4, 73)  # version field
+        vers = tmp_path / "version.rpdc"
+        vers.write_bytes(bytes(data))
+        assert _codes(fsck_disk_csr(vers)) == ["bad-version"]
+
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<I", data, 8, 0x80)  # unknown flag bit
+        flags = tmp_path / "flags.rpdc"
+        flags.write_bytes(bytes(data))
+        assert _codes(fsck_disk_csr(flags)) == ["unknown-flags"]
+
+    def test_indptr_invariants(self, disk_csr, tmp_path):
+        graph, path, sections = disk_csr
+        indptr_start = sections[0]
+        bad = tmp_path / "indptr.rpdc"
+
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<q", data, indptr_start, 5)  # indptr[0] != 0
+        bad.write_bytes(bytes(data))
+        assert "indptr-base" in _codes(fsck_disk_csr(bad))
+
+        data = bytearray(path.read_bytes())
+        last = indptr_start + 8 * graph.num_vertices
+        struct.pack_into("<q", data, last, 2**40)  # indptr[-1] != directed
+        bad.write_bytes(bytes(data))
+        assert "indptr-entries" in _codes(fsck_disk_csr(bad))
+
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<q", data, indptr_start + 8, 2**40)  # spike
+        bad.write_bytes(bytes(data))
+        assert "indptr-order" in _codes(fsck_disk_csr(bad))
+
+    def test_adjacency_invariants(self, disk_csr, tmp_path):
+        graph, path, sections = disk_csr
+        indices_start = sections[1]
+        bad = tmp_path / "adjacency.rpdc"
+
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<i", data, indices_start, graph.num_vertices + 7)
+        bad.write_bytes(bytes(data))
+        report = fsck_disk_csr(bad)
+        assert "index-range" in _codes(report)
+
+        # Swap the first adjacency row's first two entries: row no
+        # longer strictly increasing, and the message names the vertex.
+        data = bytearray(path.read_bytes())
+        first = data[indices_start : indices_start + 4]
+        second = data[indices_start + 4 : indices_start + 8]
+        assert first != second
+        data[indices_start : indices_start + 4] = second
+        data[indices_start + 4 : indices_start + 8] = first
+        bad.write_bytes(bytes(data))
+        report = fsck_disk_csr(bad)
+        assert "row-order" in _codes(report)
+        assert any(
+            "vertex 0" in f.message for f in report.findings if f.code == "row-order"
+        )
 
 
 class TestWalFsck:

@@ -1,0 +1,351 @@
+"""Property tests for streaming ingest and the RPDC disk-backed CSR.
+
+The executable contract: for every well-formed edge-list text —
+whatever mix of comments, blank lines, CRLF endings, duplicate /
+reversed / self edges, extra columns, gzip compression, and raw id
+magnitudes — ``ingest_edge_list`` must produce a disk CSR that opens
+to **the same graph** (and, name permitting, the same file bytes) as
+``read_edge_list`` → ``write_graph_disk_csr``.  Malformed inputs must
+fail with the same ``path:line`` diagnostics in both parsers.
+"""
+
+import gzip
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.ingest import ingest_edge_list
+from repro.errors import GraphError, ReproError
+from repro.graphs.disk_csr import (
+    DISK_CSR_MAGIC,
+    drop_resident_pages,
+    is_disk_csr,
+    open_disk_csr,
+    publish_disk_csr,
+    read_disk_csr_header,
+    write_graph_disk_csr,
+)
+from repro.graphs.generators import barabasi_albert_graph
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_edge_list
+
+# Raw-id pools straddling the u16 sentinel boundary (65535 is the v2
+# snapshot's unreachable marker), the u32 boundary, and small ids that
+# collide often enough to exercise duplicate elimination.
+_VERTEX_IDS = st.one_of(
+    st.integers(0, 9),
+    st.integers(65533, 65538),
+    st.integers(2**32 - 3, 2**32 + 3),
+    st.integers(0, 2**40),
+)
+
+
+@st.composite
+def rendered_edge_lists(draw):
+    """An edge list plus a messy-but-well-formed text rendering of it."""
+    edges = draw(
+        st.lists(st.tuples(_VERTEX_IDS, _VERTEX_IDS), min_size=0, max_size=30)
+    )
+    newline = draw(st.sampled_from(["\n", "\r\n"]))
+    lines = ["# comment header", ""]
+    for u, v in edges:
+        if draw(st.booleans()):
+            u, v = v, u  # direction never matters for undirected input
+        sep = draw(st.sampled_from([" ", "\t", "   "]))
+        extra = draw(st.sampled_from(["", " 42", "\tweight=3"]))
+        lines.append(f"{u}{sep}{v}{extra}")
+        if draw(st.booleans()):
+            lines.append(draw(st.sampled_from(["", "% konect comment", "# x"])))
+    text = newline.join(lines)
+    if draw(st.booleans()):
+        text += newline  # trailing newline is optional
+    return edges, text.encode()
+
+
+class TestIngestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(case=rendered_edge_lists(), data=st.data())
+    def test_round_trip_matches_read_edge_list(self, case, data):
+        edges, text = case
+        chunk_bytes = data.draw(st.sampled_from([3, 17, 1 << 20]))
+        use_gzip = data.draw(st.booleans())
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            plain = tmp / "edges.txt"
+            plain.write_bytes(text)
+            source = plain
+            if use_gzip:
+                source = tmp / "edges.txt.gz"
+                source.write_bytes(gzip.compress(text))
+            out = tmp / "edges.rpdc"
+            report = ingest_edge_list(
+                source,
+                out,
+                name="edges",
+                chunk_bytes=chunk_bytes,
+            )
+            expected = read_edge_list(plain)
+            got = open_disk_csr(out)
+
+            assert got.num_vertices == expected.num_vertices
+            assert np.array_equal(got.csr.indptr, expected.csr.indptr)
+            assert np.array_equal(got.csr.indices, expected.csr.indices)
+
+            # The streamed file must be byte-identical to the one the
+            # in-memory path would publish for the same graph.
+            reference = tmp / "reference.rpdc"
+            expected.name = "edges"
+            write_graph_disk_csr(expected, reference)
+            assert out.read_bytes() == reference.read_bytes()
+
+            # Report bookkeeping must reconcile with the parsed edges.
+            loops = sum(1 for u, v in edges if u == v)
+            unique = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+            assert report.num_vertices == expected.num_vertices
+            assert report.num_edges == expected.num_edges == len(unique)
+            assert report.self_loops == loops
+            assert report.duplicates == len(edges) - loops - len(unique)
+            assert report.lines_data == len(edges)
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=rendered_edge_lists())
+    def test_tiny_memory_budget_changes_nothing(self, case):
+        # The budget floor forces the bucketed external-memory path to
+        # behave identically however little scratch it is given.
+        _, text = case
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            plain = tmp / "edges.txt"
+            plain.write_bytes(text)
+            small = tmp / "small.rpdc"
+            big = tmp / "big.rpdc"
+            ingest_edge_list(
+                plain, small, name="edges", chunk_bytes=5, memory_budget_bytes=1
+            )
+            ingest_edge_list(plain, big, name="edges")
+            assert small.read_bytes() == big.read_bytes()
+
+
+class TestIngestParsing:
+    def _ingest(self, tmp_path, text, **kwargs):
+        source = tmp_path / "in.txt"
+        if isinstance(text, str):
+            text = text.encode()
+        source.write_bytes(text)
+        out = tmp_path / "out.rpdc"
+        report = ingest_edge_list(source, out, **kwargs)
+        return report, out
+
+    def test_crlf_comments_and_duplicates(self, tmp_path):
+        text = "# header\r\n0 1\r\n\r\n1 0\r\n% mid\r\n1 2\r\n2 2\r\n"
+        report, out = self._ingest(tmp_path, text)
+        graph = open_disk_csr(out)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert report.duplicates == 1
+        assert report.self_loops == 1
+        assert report.lines_total == 7  # includes the trailing empty line
+        assert report.lines_data == 4
+
+    def test_self_loop_endpoint_still_counts_as_vertex(self, tmp_path):
+        _, out = self._ingest(tmp_path, "0 1\n7 7\n")
+        graph = open_disk_csr(out)
+        assert graph.num_vertices == 3  # ids 0, 1, 7 compacted
+        assert graph.num_edges == 1
+        assert graph.degree(2) == 0
+
+    def test_empty_and_comment_only_files(self, tmp_path):
+        for text in ("", "# nothing\n% here\n\n"):
+            report, out = self._ingest(tmp_path, text)
+            graph = open_disk_csr(out)
+            assert graph.num_vertices == 0
+            assert graph.num_edges == 0
+            assert report.num_edges == 0
+
+    def test_gzip_detected_by_magic_not_suffix(self, tmp_path):
+        source = tmp_path / "edges.dat"  # no .gz suffix on purpose
+        source.write_bytes(gzip.compress(b"0 1\n1 2\n"))
+        out = tmp_path / "out.rpdc"
+        ingest_edge_list(source, out)
+        assert open_disk_csr(out).num_edges == 2
+
+    def test_malformed_line_reports_exact_position(self, tmp_path):
+        with pytest.raises(GraphError, match=r"in\.txt:3: expected 'u v'"):
+            self._ingest(tmp_path, "0 1\n# fine\nbroken\n0 2\n")
+
+    def test_error_position_survives_chunk_splitting(self, tmp_path):
+        lines = [f"{i} {i + 1}" for i in range(50)] + ["0 oops"]
+        with pytest.raises(GraphError, match=r"in\.txt:51: non-integer"):
+            self._ingest(tmp_path, "\n".join(lines) + "\n", chunk_bytes=7)
+
+    def test_negative_id_rejected(self, tmp_path):
+        with pytest.raises(GraphError, match=r"in\.txt:2: negative vertex id"):
+            self._ingest(tmp_path, "0 1\n3 -4\n")
+
+    def test_short_line_rejected_even_when_token_count_balances(self, tmp_path):
+        # "1" + "2 3 4" has 4 tokens over 2 lines; a naive bulk
+        # tokenizer would pair them up as (1,2),(3,4) — read_edge_list
+        # rejects the short line, and so must ingest.
+        with pytest.raises(GraphError, match=r"in\.txt:1: expected 'u v'"):
+            self._ingest(tmp_path, "1\n2 3 4\n")
+
+    def test_extra_columns_ignored_like_read_edge_list(self, tmp_path):
+        _, out = self._ingest(tmp_path, "0 1 17.5\n1 2\tlabel\n")
+        assert open_disk_csr(out).num_edges == 2
+
+    def test_multi_bucket_scatter_is_exact(self, tmp_path):
+        # ~7000 directed pairs x 16 bytes > the 64KiB budget floor, so
+        # the scatter pass genuinely fans out over several bucket files.
+        graph = barabasi_albert_graph(1200, 3, seed=77, name="in")
+        source = tmp_path / "in.txt"
+        with source.open("w") as handle:
+            for u, v in graph.edges():
+                handle.write(f"{u} {v}\n")
+        out = tmp_path / "out.rpdc"
+        report = ingest_edge_list(source, out, memory_budget_bytes=1)
+        assert report.buckets > 1
+        got = open_disk_csr(out)
+        assert np.array_equal(got.csr.indptr, graph.csr.indptr)
+        assert np.array_equal(got.csr.indices, graph.csr.indices)
+
+    def test_parse_batching_preserves_results_and_line_numbers(
+        self, tmp_path, monkeypatch
+    ):
+        # Force multi-batch parsing within a single chunk: results and
+        # error positions must be unchanged (batching only bounds the
+        # per-line Python object churn).
+        import repro.datasets.ingest as ingest_mod
+
+        monkeypatch.setattr(ingest_mod, "_PARSE_BATCH_LINES", 3)
+        graph = barabasi_albert_graph(60, 2, seed=13, name="in")
+        source = tmp_path / "in.txt"
+        with source.open("w") as handle:
+            handle.write("# header\n")
+            for u, v in graph.edges():
+                handle.write(f"{u} {v}\n")
+        out = tmp_path / "out.rpdc"
+        ingest_edge_list(source, out)
+        got = open_disk_csr(out)
+        assert np.array_equal(got.csr.indptr, graph.csr.indptr)
+        assert np.array_equal(got.csr.indices, graph.csr.indices)
+
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 1\n1 2\n2 3\n3 4\nnope\n")
+        with pytest.raises(GraphError, match=r"bad\.txt:5"):
+            ingest_edge_list(bad, tmp_path / "bad.rpdc")
+
+
+class TestDiskCSRFormat:
+    def test_header_round_trip_and_sniffing(self, tmp_path):
+        graph = barabasi_albert_graph(50, 2, seed=5, name="héader")
+        path = tmp_path / "g.rpdc"
+        write_graph_disk_csr(graph, path)
+        assert is_disk_csr(path)
+        header = read_disk_csr_header(path)
+        assert header.num_vertices == graph.num_vertices
+        assert header.num_directed_edges == len(graph.csr.indices)
+        assert header.name == "héader"
+        assert not header.wide
+        other = tmp_path / "not.rpdc"
+        other.write_bytes(b"RPRG" + b"\x00" * 30)
+        assert not is_disk_csr(other)
+        assert not is_disk_csr(tmp_path / "missing.rpdc")
+
+    def test_wide_format_round_trip(self, tmp_path):
+        graph = barabasi_albert_graph(80, 2, seed=6, name="wide")
+        path = tmp_path / "g.rpdc"
+        write_graph_disk_csr(graph, path, wide=True)
+        header = read_disk_csr_header(path)
+        assert header.wide
+        assert header.index_dtype == np.dtype("<i8")
+        got = open_disk_csr(path)
+        assert np.array_equal(got.csr.indices, graph.csr.indices)
+        narrow = tmp_path / "n.rpdc"
+        write_graph_disk_csr(graph, narrow)
+        assert path.stat().st_size > narrow.stat().st_size
+
+    def test_mmap_and_copy_modes_agree(self, tmp_path):
+        graph = barabasi_albert_graph(60, 3, seed=7)
+        path = tmp_path / "g.rpdc"
+        write_graph_disk_csr(graph, path)
+        mapped = open_disk_csr(path, mmap=True)
+        copied = open_disk_csr(path, mmap=False)
+        assert isinstance(mapped.csr.indices, np.memmap)
+        assert not isinstance(copied.csr.indices, np.memmap)
+        assert np.array_equal(mapped.csr.indices, copied.csr.indices)
+        assert drop_resident_pages(mapped.csr.indptr, mapped.csr.indices) == 2
+        assert drop_resident_pages(copied.csr.indices) == 0
+        assert np.array_equal(mapped.csr.indices, graph.csr.indices)
+
+    def test_publish_validates_indptr_and_chunks(self, tmp_path):
+        path = tmp_path / "bad.rpdc"
+        good_indptr = np.array([0, 1, 2], dtype=np.int64)
+        with pytest.raises(GraphError, match="indptr"):
+            publish_disk_csr(path, np.array([1, 2], dtype=np.int64), [])
+        with pytest.raises(GraphError, match="indptr"):
+            publish_disk_csr(path, np.array([0, 2, 1], dtype=np.int64), [])
+        with pytest.raises(GraphError, match="adjacency"):
+            publish_disk_csr(
+                path, good_indptr, [np.array([1], dtype=np.int64)]
+            )
+        with pytest.raises(GraphError, match="range"):
+            publish_disk_csr(
+                path, good_indptr, [np.array([1, 5], dtype=np.int64)]
+            )
+        assert not path.exists()  # nothing published on failure
+        assert not list(tmp_path.glob("*.tmp"))  # no litter either
+
+    def test_atomic_publish_leaves_no_temp_files(self, tmp_path):
+        graph = barabasi_albert_graph(40, 2, seed=8)
+        path = tmp_path / "g.rpdc"
+        write_graph_disk_csr(graph, path)
+        write_graph_disk_csr(graph, path)  # overwrite in place is fine
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["g.rpdc"]
+
+    def test_open_rejects_corrupt_files(self, tmp_path):
+        graph = barabasi_albert_graph(40, 2, seed=9)
+        path = tmp_path / "g.rpdc"
+        write_graph_disk_csr(graph, path)
+        data = path.read_bytes()
+        bad = tmp_path / "bad.rpdc"
+        bad.write_bytes(data[: len(data) - 5])
+        with pytest.raises(GraphError):
+            open_disk_csr(bad)
+        bad.write_bytes(b"XXXX" + data[4:])
+        with pytest.raises(GraphError, match="not a repro disk-CSR"):
+            open_disk_csr(bad)
+        assert DISK_CSR_MAGIC == data[:4]
+
+    def test_served_answers_match_in_memory_graph(self, tmp_path):
+        # End-to-end: a memmapped disk CSR drives the oracle exactly
+        # like the in-memory graph it came from.
+        from repro.core.query import HighwayCoverOracle
+
+        graph = barabasi_albert_graph(150, 3, seed=10, name="serve")
+        path = tmp_path / "g.rpdc"
+        write_graph_disk_csr(graph, path)
+        mapped = open_disk_csr(path)
+        a = HighwayCoverOracle(num_landmarks=8).build(graph)
+        b = HighwayCoverOracle(num_landmarks=8).build(mapped)
+        rng = np.random.default_rng(3)
+        for s, t in rng.integers(0, graph.num_vertices, size=(50, 2)):
+            assert a.query(int(s), int(t)) == b.query(int(s), int(t))
+
+
+class TestDatasetScaleValidation:
+    def test_rejects_nonpositive_and_nonfinite_scales(self):
+        from repro.datasets import load_dataset
+
+        for bad in (0, -1, -0.5, float("nan"), float("inf"), "x"):
+            with pytest.raises(ReproError, match="scale"):
+                load_dataset("Skitter", scale=bad)
+
+    def test_valid_scale_still_generates(self):
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("Skitter", scale=0.05)
+        assert graph.num_vertices >= 64

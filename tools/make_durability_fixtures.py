@@ -23,6 +23,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.query import HighwayCoverOracle  # noqa: E402
 from repro.core.serialization import save_oracle  # noqa: E402
 from repro.core.wal import WriteAheadLog  # noqa: E402
+from repro.graphs.disk_csr import (  # noqa: E402
+    disk_csr_sections,
+    read_disk_csr_header,
+    write_graph_disk_csr,
+)
 from repro.graphs.generators import barabasi_albert_graph  # noqa: E402
 
 FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "durability"
@@ -68,6 +73,39 @@ def main() -> None:
     sections = _section_offsets(2, n, k, entries, bool(flags & 1))
     struct.pack_into("<q", bad_offsets, sections[2], 7)
     put("bad-offsets.hl", bytes(bad_offsets), "offsets-base")
+
+    # Disk-CSR corruptions — one per invariant fsck_disk_csr checks.
+    clean_rpdc = FIXTURE_DIR / "clean.rpdc"
+    write_graph_disk_csr(graph, clean_rpdc)
+    manifest["clean.rpdc"] = None
+    rpdc = clean_rpdc.read_bytes()
+    header = read_disk_csr_header(clean_rpdc)
+    indptr_start, indices_start, _ = disk_csr_sections(
+        header.num_vertices,
+        header.num_directed_edges,
+        header.wide,
+        len(header.name.encode("utf-8")),
+    )
+
+    put("truncated.rpdc", rpdc[: indices_start + 6], "truncated-file")
+    put("bad-magic.rpdc", b"XXXX" + rpdc[4:], "bad-magic")
+    bad_rpdc_version = bytearray(rpdc)
+    struct.pack_into("<I", bad_rpdc_version, 4, 73)
+    put("bad-version.rpdc", bytes(bad_rpdc_version), "bad-version")
+    bad_indptr = bytearray(rpdc)
+    struct.pack_into("<q", bad_indptr, indptr_start, 5)
+    put("bad-indptr-base.rpdc", bytes(bad_indptr), "indptr-base")
+    bad_range = bytearray(rpdc)
+    struct.pack_into("<i", bad_range, indices_start, header.num_vertices + 9)
+    put("bad-index-range.rpdc", bytes(bad_range), "index-range")
+    # Reverse one multi-entry adjacency row to violate strict ordering.
+    unsorted = bytearray(rpdc)
+    row_lo = struct.unpack_from("<i", rpdc, indices_start)[0]
+    unsorted_row = bytearray(rpdc[indices_start : indices_start + 8])
+    unsorted[indices_start : indices_start + 4] = unsorted_row[4:8]
+    unsorted[indices_start + 4 : indices_start + 8] = unsorted_row[0:4]
+    assert row_lo != struct.unpack_from("<i", bytes(unsorted), indices_start)[0]
+    put("unsorted-row.rpdc", bytes(unsorted), "row-order")
 
     # WAL corruptions.
     put("torn-tail.wal", log[:-9], "torn-tail")
